@@ -1,0 +1,36 @@
+"""Ablation: cost of the MTSQL→SQL rewrite itself (middleware overhead).
+
+The paper argues the middleware adds negligible overhead compared to query
+execution.  This ablation measures (a) rewriting alone — parse, canonical
+rewrite, all optimization passes, SQL printing — and (b) executing the
+already-rewritten statement, for a representative query mix.
+"""
+
+import pytest
+
+from repro.bench.workload import WorkloadConfig, load_workload
+from repro.mth.queries import query_text
+
+QUERY_IDS = (1, 3, 6, 22)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload(WorkloadConfig.scenario1())
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_rewrite_only(benchmark, workload, query_id):
+    connection = workload.connection(client=1, optimization="o4", dataset="all")
+    text = query_text(query_id)
+    benchmark(lambda: connection.rewrite_sql(text))
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_execute_prerewritten(benchmark, workload, query_id):
+    connection = workload.connection(client=1, optimization="o4", dataset="all")
+    rewritten = connection.rewrite(query_text(query_id))
+    workload.reset_caches()
+    benchmark.pedantic(
+        lambda: workload.mth.database.execute(rewritten), rounds=1, iterations=1
+    )

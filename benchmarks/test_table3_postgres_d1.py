@@ -1,0 +1,31 @@
+"""Table 3: PostgreSQL profile, D = {1} (the client's own data).
+
+Regenerates the paper's response-time grid: every parametrized benchmark is
+one (optimization level, query) cell; the tpch benchmarks are the
+single-tenant baseline the paper compares against.  Run with
+REPRO_BENCH_FULL=1 for all 22 queries and all six levels.
+"""
+
+import pytest
+
+from conftest import LEVELS, QUERY_IDS, run_baseline_query, run_mth_query, table_workload
+
+TABLE_ID = "3"
+
+
+@pytest.fixture(scope="module")
+def workload_and_spec():
+    return table_workload(TABLE_ID)
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_tpch_baseline(benchmark, workload_and_spec, query_id):
+    workload, _ = workload_and_spec
+    run_baseline_query(benchmark, workload, query_id)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_mth_query(benchmark, workload_and_spec, level, query_id):
+    workload, spec = workload_and_spec
+    run_mth_query(benchmark, workload, spec, level, query_id)

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Cross-tenant analytics over a health-care SaaS (the paper's motivating use case).
+
+Several clinics (tenants) store anonymized patient encounters in a shared
+multi-tenant database.  Clinics bill in different currencies.  A research
+institute (itself a tenant without patient data) is granted read access by
+some — not all — clinics and runs cross-tenant analyses:
+
+* the data set D is selected with a *complex scope* ("clinics that treated at
+  least one high-cost encounter"),
+* privilege pruning removes clinics that did not grant access,
+* aggregates over the convertible ``cost`` attribute are converted into the
+  research institute's currency automatically.
+
+Run with ``python examples/healthcare_analytics.py``.
+"""
+
+from repro.core import MTBase, make_currency_pair
+
+CLINICS = {
+    2: ("City Hospital", "USD"),
+    3: ("Lakeside Clinic", "EUR"),
+    4: ("Mountain Care", "CHF"),
+    5: ("Harbour Practice", "EUR"),
+}
+RESEARCH_INSTITUTE = 1  # tenant 1 uses the universal currency (USD)
+
+RATES_TO_USD = {"USD": 1.0, "EUR": 1.1, "CHF": 1.05}
+
+
+def build() -> MTBase:
+    mt = MTBase()
+    db = mt.database
+
+    # conversion infrastructure
+    db.execute(
+        "CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL,"
+        " CONSTRAINT pk_tenant PRIMARY KEY (T_tenant_key))"
+    )
+    db.execute(
+        "CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,"
+        " CT_to_universal DECIMAL(15,6) NOT NULL, CT_from_universal DECIMAL(15,6) NOT NULL,"
+        " CONSTRAINT pk_ct PRIMARY KEY (CT_currency_key))"
+    )
+    currencies = {code: key for key, code in enumerate(RATES_TO_USD)}
+    for code, key in currencies.items():
+        rate = RATES_TO_USD[code]
+        db.execute(
+            f"INSERT INTO CurrencyTransform VALUES ({key}, {rate}, {1.0 / rate})"
+        )
+    tenant_currency = {RESEARCH_INSTITUTE: "USD"}
+    tenant_currency.update({ttid: currency for ttid, (_, currency) in CLINICS.items()})
+    for ttid, code in tenant_currency.items():
+        db.execute(f"INSERT INTO Tenant VALUES ({ttid}, {currencies[code]})")
+    db.execute(
+        "CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2) AS "
+        "'SELECT CT_to_universal * $1 FROM Tenant, CurrencyTransform "
+        "WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE"
+    )
+    db.execute(
+        "CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2) AS "
+        "'SELECT CT_from_universal * $1 FROM Tenant, CurrencyTransform "
+        "WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key' LANGUAGE SQL IMMUTABLE"
+    )
+    to_rates = {ttid: RATES_TO_USD[code] for ttid, code in tenant_currency.items()}
+    from_rates = {ttid: 1.0 / rate for ttid, rate in to_rates.items()}
+    db.register_python_function("mt_currency_rate_to_universal", to_rates.__getitem__, immutable=True)
+    db.register_python_function("mt_currency_rate_from_universal", from_rates.__getitem__, immutable=True)
+    mt.register_conversion_pair(make_currency_pair())
+
+    # schema: a global diagnosis catalogue and tenant-specific encounters
+    mt.create_table(
+        """CREATE TABLE diagnoses GLOBAL (
+            d_code VARCHAR(10) NOT NULL,
+            d_description VARCHAR(80) NOT NULL,
+            CONSTRAINT pk_diag PRIMARY KEY (d_code)
+        )"""
+    )
+    mt.create_table(
+        """CREATE TABLE encounters SPECIFIC (
+            e_id INTEGER NOT NULL SPECIFIC,
+            e_diagnosis VARCHAR(10) NOT NULL COMPARABLE,
+            e_age_group VARCHAR(10) NOT NULL COMPARABLE,
+            e_cost DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+            e_outcome VARCHAR(10) NOT NULL COMPARABLE,
+            CONSTRAINT pk_enc PRIMARY KEY (e_id)
+        )""",
+        ttid_column="e_ttid",
+    )
+
+    db.execute(
+        "INSERT INTO diagnoses VALUES ('J45', 'Asthma'), ('E11', 'Type 2 diabetes'),"
+        " ('I10', 'Hypertension'), ('M54', 'Back pain')"
+    )
+
+    mt.register_tenant(RESEARCH_INSTITUTE, "Research Institute")
+    for ttid, (name, _) in CLINICS.items():
+        mt.register_tenant(ttid, name)
+
+    # each clinic loads its own encounters, in its own currency
+    import random
+
+    rng = random.Random(7)
+    diagnoses = ("J45", "E11", "I10", "M54")
+    age_groups = ("0-17", "18-39", "40-64", "65+")
+    outcomes = ("recovered", "referred", "chronic")
+    encounter_id = 0
+    for ttid, (name, currency) in CLINICS.items():
+        clinic = mt.connect(ttid)  # default scope: the clinic's own data
+        rows = []
+        for _ in range(60):
+            encounter_id += 1
+            cost_local = round(rng.uniform(80, 4200), 2)
+            rows.append(
+                f"({encounter_id}, '{rng.choice(diagnoses)}', '{rng.choice(age_groups)}',"
+                f" {cost_local}, '{rng.choice(outcomes)}')"
+            )
+        clinic.execute(
+            "INSERT INTO encounters (e_id, e_diagnosis, e_age_group, e_cost, e_outcome) VALUES "
+            + ", ".join(rows)
+        )
+
+    # clinics 2, 3 and 4 join the research data-sharing agreement; clinic 5 declines
+    for ttid in (2, 3, 4):
+        clinic = mt.connect(ttid)
+        clinic.execute(f"GRANT READ ON encounters TO {RESEARCH_INSTITUTE}")
+    return mt
+
+
+def main() -> None:
+    mt = build()
+    research = mt.connect(RESEARCH_INSTITUTE, optimization="o4")
+
+    print("=== Which clinics can the institute see at all? ===")
+    research.execute('SET SCOPE = "IN ()"')  # ask for everybody ...
+    print("   scope resolves to D =", research.dataset())
+    visible = research.query("SELECT COUNT(*) AS encounters FROM encounters").scalar()
+    print(
+        "   readable encounters after privilege pruning:",
+        visible,
+        "(3 clinics x 60 — clinic 5 did not grant access)",
+    )
+
+    print("\n=== Average cost per diagnosis across the participating clinics (USD) ===")
+    result = research.query(
+        """SELECT d_description, COUNT(*) AS cases, AVG(e_cost) AS avg_cost_usd
+           FROM encounters, diagnoses
+           WHERE e_diagnosis = d_code
+           GROUP BY d_description
+           ORDER BY avg_cost_usd DESC"""
+    )
+    for description, cases, avg_cost in result.rows:
+        print(f"   {description:<18} {cases:>4} cases   {avg_cost:>10.2f} USD")
+
+    print("\n=== Complex scope: clinics that treated an encounter above 3 500 USD ===")
+    research.execute('SET SCOPE = "FROM encounters WHERE e_cost > 3500"')
+    print(
+        "   D resolved from the scope query:",
+        research.dataset(),
+        "(non-granting clinics are pruned again at query time)",
+    )
+    expensive = research.query(
+        "SELECT e_age_group, COUNT(*) AS cases FROM encounters "
+        "WHERE e_cost > 3500 GROUP BY e_age_group ORDER BY cases DESC"
+    )
+    for row in expensive.rows:
+        print("   ", row)
+
+    print("\n=== One clinic's own view stays in its own currency ===")
+    lakeside = mt.connect(3, optimization="o4")  # EUR clinic, default scope = own data
+    own = lakeside.query("SELECT COUNT(*) AS n, AVG(e_cost) AS avg_cost FROM encounters")
+    count, avg_cost = own.rows[0]
+    print(f"   Lakeside Clinic: {count} encounters, average cost {avg_cost:.2f} EUR")
+
+
+if __name__ == "__main__":
+    main()

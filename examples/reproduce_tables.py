@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's response-time tables (Tables 3-5 and 7-9).
+
+Examples::
+
+    python examples/reproduce_tables.py --table 5
+    python examples/reproduce_tables.py --table 3 --queries 1 6 22 --sf 0.005
+    python examples/reproduce_tables.py --all --queries 1 6 22
+
+The harness always prints absolute response times (seconds) and the same grid
+relative to the single-tenant TPC-H baseline, which is the comparison the
+paper draws.
+"""
+
+import argparse
+
+from repro.bench import render_relative_table, render_table, run_table
+from repro.bench.tables import TABLE_CONFIGS
+from repro.mth.queries import ALL_QUERY_IDS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", choices=sorted(TABLE_CONFIGS), help="which table to regenerate")
+    parser.add_argument("--all", action="store_true", help="regenerate all six tables")
+    parser.add_argument(
+        "--queries", type=int, nargs="*", default=list(ALL_QUERY_IDS),
+        help="subset of MT-H queries (default: all 22)",
+    )
+    parser.add_argument("--sf", type=float, default=None, help="scale factor (default 0.002)")
+    parser.add_argument("--tenants", type=int, default=10, help="number of tenants (default 10)")
+    parser.add_argument("--repetitions", type=int, default=1, help="timing repetitions per cell")
+    arguments = parser.parse_args()
+
+    table_ids = sorted(TABLE_CONFIGS) if arguments.all else [arguments.table]
+    if table_ids == [None]:
+        parser.error("pass --table N or --all")
+
+    for table_id in table_ids:
+        result = run_table(
+            table_id,
+            query_ids=tuple(arguments.queries),
+            scale_factor=arguments.sf,
+            tenants=arguments.tenants,
+            repetitions=arguments.repetitions,
+        )
+        print(render_table(result, arguments.queries))
+        print()
+        print(render_relative_table(result, arguments.queries))
+        print()
+
+
+if __name__ == "__main__":
+    main()

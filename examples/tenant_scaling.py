@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate the tenant-scaling figures (Figure 5 and Figure 6).
+
+Examples::
+
+    python examples/tenant_scaling.py                         # Figure 5 (postgres profile)
+    python examples/tenant_scaling.py --profile system_c      # Figure 6
+    python examples/tenant_scaling.py --tenants 1 10 100 1000 --sf 0.005
+"""
+
+import argparse
+
+from repro.bench import render_scaling, run_tenant_scaling
+from repro.bench.scaling import DEFAULT_TENANT_COUNTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile", choices=("postgres", "system_c"), default="postgres",
+        help="postgres = Figure 5, system_c = Figure 6",
+    )
+    parser.add_argument(
+        "--tenants", type=int, nargs="*", default=list(DEFAULT_TENANT_COUNTS),
+        help="tenant counts to sweep",
+    )
+    parser.add_argument(
+        "--queries", type=int, nargs="*", default=[1, 6, 22],
+        help="queries to measure (default: the conversion-intensive Q1, Q6, Q22)",
+    )
+    parser.add_argument("--sf", type=float, default=None, help="scale factor (default 0.002)")
+    arguments = parser.parse_args()
+
+    result = run_tenant_scaling(
+        profile=arguments.profile,
+        tenant_counts=tuple(arguments.tenants),
+        query_ids=tuple(arguments.queries),
+        scale_factor=arguments.sf,
+    )
+    print(render_scaling(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — a reproduction of *MTBase: Optimizing Cross-Tenant Database Queries*.
+
+The package is organized in four layers:
+
+* :mod:`repro.sql`    — SQL/MTSQL lexer, parser, AST and printer,
+* :mod:`repro.engine` — an in-memory SQL engine (the simulated back-end DBMS),
+* :mod:`repro.core`   — MTSQL semantics: conversion functions, scopes,
+  privileges, the canonical rewrite algorithm, the optimizer and the MTBase
+  middleware/client,
+* :mod:`repro.mth`    — the MT-H benchmark (schema, data generator, queries),
+* :mod:`repro.bench`  — the experiment harness regenerating the paper's
+  tables and figures.
+"""
+
+from .engine import Database, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "QueryResult", "__version__"]

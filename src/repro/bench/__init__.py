@@ -1,0 +1,34 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from .reporting import format_seconds, render_relative_table, render_scaling, render_table
+from .scaling import DEFAULT_TENANT_COUNTS, ScalingPoint, ScalingResult, run_tenant_scaling
+from .tables import (
+    LEVEL_ORDER,
+    TABLE_CONFIGS,
+    Measurement,
+    TableResult,
+    run_table,
+    time_query,
+)
+from .workload import Workload, WorkloadConfig, clear_workload_cache, load_workload
+
+__all__ = [
+    "run_table",
+    "run_tenant_scaling",
+    "TableResult",
+    "ScalingResult",
+    "ScalingPoint",
+    "Measurement",
+    "TABLE_CONFIGS",
+    "LEVEL_ORDER",
+    "DEFAULT_TENANT_COUNTS",
+    "Workload",
+    "WorkloadConfig",
+    "load_workload",
+    "clear_workload_cache",
+    "render_table",
+    "render_relative_table",
+    "render_scaling",
+    "format_seconds",
+    "time_query",
+]

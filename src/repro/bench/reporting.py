@@ -1,0 +1,81 @@
+"""Plain-text rendering of benchmark results in the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .scaling import ScalingResult
+from .tables import LEVEL_ORDER, TableResult
+
+
+def format_seconds(value: float) -> str:
+    """Two significant digits, like the paper's tables."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def render_table(result: TableResult, query_ids: Sequence[int] | None = None) -> str:
+    """Render a response-time table: one row per optimization level."""
+    if query_ids is None:
+        query_ids = sorted({query_id for _, query_id in result.cells})
+    header = ["Level".ljust(10)] + [f"Q{query_id:02d}".rjust(8) for query_id in query_ids]
+    lines = [
+        f"Table {result.table_id} — profile={result.config.profile}, "
+        f"sf={result.config.scale_factor}, T={result.config.tenants}, "
+        f"D={result.dataset}, C={result.client} (response times in seconds)",
+        "".join(header),
+    ]
+    baseline_cells = ["tpch".ljust(10)]
+    for query_id in query_ids:
+        cell = result.baseline.get(query_id)
+        baseline_cells.append(format_seconds(cell.seconds).rjust(8) if cell else "-".rjust(8))
+    lines.append("".join(baseline_cells))
+    for level in LEVEL_ORDER:
+        row = [level.value.ljust(10)]
+        for query_id in query_ids:
+            cell = result.cells.get((level.value, query_id))
+            row.append(format_seconds(cell.seconds).rjust(8) if cell else "-".rjust(8))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_relative_table(result: TableResult, query_ids: Sequence[int] | None = None) -> str:
+    """Render the same grid as multiples of the TPC-H baseline."""
+    if query_ids is None:
+        query_ids = sorted({query_id for _, query_id in result.cells})
+    lines = [
+        f"Table {result.table_id} — response time relative to the TPC-H baseline",
+        "".join(["Level".ljust(10)] + [f"Q{query_id:02d}".rjust(8) for query_id in query_ids]),
+    ]
+    for level in LEVEL_ORDER:
+        row = [level.value.ljust(10)]
+        for query_id in query_ids:
+            relative = result.relative(level.value, query_id)
+            row.append(f"{relative:.2f}x".rjust(8) if relative is not None else "-".rjust(8))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_scaling(result: ScalingResult) -> str:
+    """Render a tenant-scaling figure as one block per query."""
+    lines = [f"Figure {result.figure_id} — profile={result.profile} (relative to TPC-H)"]
+    query_ids = sorted({point.query_id for point in result.points})
+    levels = sorted({point.level for point in result.points})
+    for query_id in query_ids:
+        lines.append(f"  MT-H Query {query_id}")
+        tenants = sorted({point.tenants for point in result.points if point.query_id == query_id})
+        header = ["    level".ljust(14)] + [f"T={count}".rjust(10) for count in tenants]
+        lines.append("".join(header))
+        for level in levels:
+            series = dict(result.series(query_id, level))
+            row = [f"    {level}".ljust(14)]
+            for count in tenants:
+                value = series.get(count)
+                row.append(f"{value:.2f}x".rjust(10) if value is not None else "-".rjust(10))
+            lines.append("".join(row))
+    return "\n".join(lines)

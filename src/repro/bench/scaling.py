@@ -1,0 +1,101 @@
+"""Tenant-scaling experiment (Figures 5 and 6 of the paper).
+
+For the conversion-intensive queries Q1, Q6 and Q22 the experiment measures
+MT-H response time *relative to plain TPC-H on the same data* while the
+number of tenants grows, for the best optimization level (o4) and for
+inlining-only.  Figure 5 uses the PostgreSQL-like profile, Figure 6 the
+System-C-like profile (no UDF result caching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..mth.queries import CONVERSION_INTENSIVE, query_text
+from .tables import time_query
+from .workload import WorkloadConfig, load_workload
+
+#: default tenant counts swept by the reproduction (the paper goes to 100 000
+#: at sf = 100; at micro scale the data only supports a few thousand tenants)
+DEFAULT_TENANT_COUNTS = (1, 2, 5, 10, 50, 100)
+
+
+@dataclass
+class ScalingPoint:
+    """One measured point of a tenant-scaling curve."""
+
+    query_id: int
+    level: str
+    tenants: int
+    seconds: float
+    baseline_seconds: float
+
+    @property
+    def relative(self) -> float:
+        if self.baseline_seconds == 0:
+            return float("nan")
+        return self.seconds / self.baseline_seconds
+
+
+@dataclass
+class ScalingResult:
+    """All points of one tenant-scaling figure."""
+
+    figure_id: str
+    profile: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def series(self, query_id: int, level: str) -> list[tuple[int, float]]:
+        return sorted(
+            (point.tenants, point.relative)
+            for point in self.points
+            if point.query_id == query_id and point.level == level
+        )
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "figure": self.figure_id,
+                "query": point.query_id,
+                "level": point.level,
+                "tenants": point.tenants,
+                "seconds": point.seconds,
+                "relative": point.relative,
+            }
+            for point in self.points
+        ]
+
+
+def run_tenant_scaling(
+    profile: str = "postgres",
+    tenant_counts: Sequence[int] = DEFAULT_TENANT_COUNTS,
+    query_ids: Sequence[int] = CONVERSION_INTENSIVE,
+    levels: Iterable[str] = ("o4", "inl-only"),
+    scale_factor: Optional[float] = None,
+    repetitions: int = 1,
+) -> ScalingResult:
+    """Measure the Figure-5 (postgres) or Figure-6 (system_c) curves."""
+    figure_id = "5" if profile == "postgres" else "6"
+    result = ScalingResult(figure_id=figure_id, profile=profile)
+    for tenants in tenant_counts:
+        config = WorkloadConfig.scenario2(tenants=tenants, profile=profile, scale_factor=scale_factor)
+        workload = load_workload(config)
+        for query_id in query_ids:
+            text = query_text(query_id)
+            workload.reset_caches()
+            baseline_seconds = time_query(lambda: workload.baseline.query(text), repetitions)
+            for level in levels:
+                connection = workload.connection(client=1, optimization=level, dataset="all")
+                workload.reset_caches()
+                seconds = time_query(lambda: connection.query(text), repetitions)
+                result.points.append(
+                    ScalingPoint(
+                        query_id=query_id,
+                        level=level,
+                        tenants=tenants,
+                        seconds=seconds,
+                        baseline_seconds=baseline_seconds,
+                    )
+                )
+    return result

@@ -1,0 +1,126 @@
+"""Benchmark workload setup: the paper's two scenarios plus custom configs.
+
+* **Scenario 1** (§6.2) — a business alliance of ten small enterprises:
+  ``T = 10``, uniform tenant shares, moderate scale factor.
+* **Scenario 2** — a large medical-records database queried by a research
+  institution: zipfian shares, ``D`` = all tenants, ``T`` swept over several
+  orders of magnitude.
+
+Scale factors are micro-scale by default (a pure-Python engine stands in for
+PostgreSQL / System C); the harness always reports response times *relative
+to the single-tenant TPC-H baseline on the same data*, which is the unit the
+paper's figures use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.middleware import MTBase
+from ..engine.database import Database
+from ..mth.dbgen import TPCHData, generate
+from ..mth.loader import MTHInstance, load_mth, load_tpch_baseline
+
+
+def env_scale_factor(default: float) -> float:
+    """Scale factor override via ``REPRO_BENCH_SF`` (used by the pytest benches)."""
+    value = os.environ.get("REPRO_BENCH_SF")
+    if not value:
+        return default
+    return float(value)
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of one benchmark workload."""
+
+    scale_factor: float = 0.002
+    tenants: int = 10
+    distribution: str = "uniform"
+    profile: str = "postgres"
+    seed: int = 20180326
+
+    @classmethod
+    def scenario1(cls, profile: str = "postgres", scale_factor: Optional[float] = None) -> "WorkloadConfig":
+        return cls(
+            scale_factor=env_scale_factor(scale_factor if scale_factor is not None else 0.002),
+            tenants=10,
+            distribution="uniform",
+            profile=profile,
+        )
+
+    @classmethod
+    def scenario2(
+        cls, tenants: int, profile: str = "postgres", scale_factor: Optional[float] = None
+    ) -> "WorkloadConfig":
+        return cls(
+            scale_factor=env_scale_factor(scale_factor if scale_factor is not None else 0.002),
+            tenants=tenants,
+            distribution="zipf",
+            profile=profile,
+        )
+
+
+@dataclass
+class Workload:
+    """A loaded workload: the MT-H instance and its TPC-H baseline."""
+
+    config: WorkloadConfig
+    data: TPCHData
+    mth: MTHInstance
+    baseline: Database
+
+    @property
+    def middleware(self) -> MTBase:
+        return self.mth.middleware
+
+    def connection(self, client: int = 1, optimization: str = "o4", dataset: str = "all"):
+        """Open a client connection with the scope the experiments use.
+
+        ``dataset`` is either ``"all"`` (empty IN list = every tenant) or an
+        explicit scope string such as ``"IN (1)"``.
+        """
+        connection = self.middleware.connect(client, optimization=optimization)
+        connection.set_scope("IN ()" if dataset == "all" else dataset)
+        return connection
+
+    def reset_caches(self) -> None:
+        """Clear UDF result caches and statistics before a timed run."""
+        self.mth.database.clear_function_caches()
+        self.mth.database.reset_stats()
+        self.baseline.clear_function_caches()
+        self.baseline.reset_stats()
+
+
+_WORKLOAD_CACHE: dict[tuple, Workload] = {}
+
+
+def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
+    """Load (and memoize) a workload: generating data dominates set-up time."""
+    key = (
+        config.scale_factor,
+        config.tenants,
+        config.distribution,
+        config.profile,
+        config.seed,
+    )
+    if use_cache and key in _WORKLOAD_CACHE:
+        return _WORKLOAD_CACHE[key]
+    data = generate(scale_factor=config.scale_factor, seed=config.seed)
+    mth = load_mth(
+        data=data,
+        tenants=config.tenants,
+        distribution=config.distribution,
+        profile=config.profile,
+    )
+    baseline = load_tpch_baseline(data=data, profile=config.profile)
+    workload = Workload(config=config, data=data, mth=mth, baseline=baseline)
+    if use_cache:
+        _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+def clear_workload_cache() -> None:
+    _WORKLOAD_CACHE.clear()

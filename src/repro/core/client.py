@@ -1,0 +1,299 @@
+"""Client connections to MTBase.
+
+An :class:`MTConnection` carries the two MTSQL parameters that plain SQL
+lacks: the client tenant ``C`` (fixed by the connection, §2.1) and the data
+set ``D`` (the ``SCOPE`` runtime parameter).  Every statement goes through the
+paper's middleware pipeline (Figure 4):
+
+1. if the scope is complex, run its rewritten query to determine ``D``,
+2. prune ``D`` to ``D'`` using the client's privileges,
+3. rewrite the MTSQL statement into plain SQL (canonical rewrite + the
+   configured optimization level),
+4. execute the SQL on the underlying DBMS and relay the result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..engine.executor import QueryResult
+from ..engine.database import StatementResult
+from ..errors import MTSQLError, PrivilegeError
+from ..sql import ast
+from ..sql.parser import parse_statement
+from ..sql.printer import to_sql
+from .dml import DMLRewriter
+from .optimizer import apply_optimizations
+from .optimizer.levels import OptimizationLevel
+from .rewrite.canonical import CanonicalRewriter
+from .rewrite.context import RewriteContext, RewriteOptions
+from .scope import ComplexScope, DefaultScope, Scope, SimpleScope, parse_scope, scope_dataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .middleware import MTBase
+
+
+class MTConnection:
+    """A client connection with its own C, SCOPE and optimization level."""
+
+    def __init__(self, middleware: "MTBase", client: int, level: OptimizationLevel) -> None:
+        self.middleware = middleware
+        self.client = client
+        self.optimization = level
+        self.scope: Scope = DefaultScope()
+        #: the most recently executed rewritten statement(s), for inspection
+        self.last_rewritten: list[ast.Statement] = []
+
+    # -- scope handling -----------------------------------------------------------
+
+    def set_scope(self, scope: Union[str, Scope]) -> None:
+        """``SET SCOPE = "..."`` — change the connection's data set D."""
+        if isinstance(scope, Scope):
+            self.scope = scope
+        else:
+            self.scope = parse_scope(scope)
+
+    def reset_scope(self) -> None:
+        self.scope = DefaultScope()
+
+    def dataset(self) -> tuple[int, ...]:
+        """Resolve the current scope to the concrete data set D."""
+        return scope_dataset(
+            self.scope,
+            self.client,
+            self.middleware.tenants(),
+            complex_resolver=self._resolve_complex_scope,
+        )
+
+    def _resolve_complex_scope(self, scope: ComplexScope) -> list[int]:
+        context = self._rewrite_context(dataset=self.middleware.tenants())
+        rewritten = CanonicalRewriter(context).rewrite_scope_query(scope.query)
+        result = self.middleware.database.execute(rewritten)
+        return [int(row[0]) for row in result.rows]
+
+    # -- statement execution ---------------------------------------------------------
+
+    def execute(self, statement: Union[str, ast.Statement]):
+        """Execute one MTSQL statement and return the relayed DBMS result."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if isinstance(statement, ast.SetScope):
+            self.set_scope(statement.scope_text)
+            self.last_rewritten = []
+            return StatementResult("SET SCOPE")
+        if isinstance(statement, ast.Select):
+            return self._execute_query(statement)
+        if isinstance(statement, (ast.Grant, ast.Revoke)):
+            return self._execute_dcl(statement)
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            return self._execute_dml(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(
+            statement, (ast.CreateTable, ast.CreateFunction, ast.DropTable, ast.DropView)
+        ):
+            return self.middleware.execute_ddl(statement)
+        raise MTSQLError(f"unsupported MTSQL statement {type(statement).__name__}")
+
+    def query(self, statement: Union[str, ast.Select]) -> QueryResult:
+        result = self.execute(statement)
+        if not isinstance(result, QueryResult):
+            raise MTSQLError("query() expects a SELECT statement")
+        return result
+
+    # -- rewrite-only entry points (used by tests, examples and the benchmarks) -------
+
+    def rewrite(self, statement: Union[str, ast.Select]) -> ast.Select:
+        """Rewrite a query without executing it."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ast.Select):
+            raise MTSQLError("rewrite() expects a SELECT statement")
+        dataset = self._pruned_dataset(statement)
+        return self._rewrite_query(statement, dataset)
+
+    def rewrite_sql(self, statement: Union[str, ast.Select]) -> str:
+        """Rewrite a query and return the SQL text sent to the DBMS."""
+        return to_sql(self.rewrite(statement))
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _execute_query(self, query: ast.Select) -> QueryResult:
+        dataset = self._pruned_dataset(query)
+        rewritten = self._rewrite_query(query, dataset)
+        self.last_rewritten = [rewritten]
+        return self.middleware.database.execute(rewritten)
+
+    def _rewrite_query(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
+        context = self._rewrite_context(dataset)
+        rewritten = CanonicalRewriter(context).rewrite_query(query)
+        return apply_optimizations(rewritten, self.optimization, context)
+
+    def _rewrite_context(
+        self, dataset: tuple[int, ...], force_canonical: bool = False
+    ) -> RewriteContext:
+        all_tenants = self.middleware.tenants()
+        if self.optimization.applies_trivial and not force_canonical:
+            options = RewriteOptions.trivially_optimized(self.client, dataset, all_tenants)
+        else:
+            options = RewriteOptions.canonical()
+        return RewriteContext(
+            client=self.client,
+            dataset=tuple(dataset),
+            schema=self.middleware.schema,
+            conversions=self.middleware.conversions,
+            options=options,
+            all_tenants=all_tenants,
+        )
+
+    def _pruned_dataset(
+        self, statement: ast.Statement, privilege: str = "READ"
+    ) -> tuple[int, ...]:
+        dataset = self.dataset()
+        tables = sorted(self._tenant_specific_tables(statement))
+        pruned = self.middleware.privileges.prune_dataset(
+            self.client, dataset, tables, privilege=privilege
+        )
+        if dataset and not pruned:
+            raise PrivilegeError(
+                f"tenant {self.client} has no {privilege} privilege on any tenant in "
+                f"{sorted(dataset)} for tables {tables}"
+            )
+        return pruned
+
+    def _tenant_specific_tables(self, statement: ast.Statement) -> set[str]:
+        """All tenant-specific base tables a statement touches (for privilege pruning)."""
+        schema = self.middleware.schema
+        tables: set[str] = set()
+
+        def add_table(name: str) -> None:
+            if schema.has_table(name) and schema.table(name).is_tenant_specific:
+                tables.add(schema.table(name).name)
+
+        def visit_from(item: ast.FromItem) -> None:
+            if isinstance(item, ast.TableRef):
+                add_table(item.name)
+            elif isinstance(item, ast.SubqueryRef):
+                visit_select(item.query)
+            elif isinstance(item, ast.Join):
+                visit_from(item.left)
+                visit_from(item.right)
+
+        def visit_expression(expr) -> None:
+            from ..engine.expressions import walk_expression
+
+            for node in walk_expression(expr):
+                if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                    visit_select(node.query)
+
+        def visit_select(select: ast.Select) -> None:
+            for item in select.from_items:
+                visit_from(item)
+            for select_item in select.items:
+                visit_expression(select_item.expr)
+            visit_expression(select.where)
+            visit_expression(select.having)
+
+        if isinstance(statement, ast.Select):
+            visit_select(statement)
+        elif isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            add_table(statement.table)
+            if isinstance(statement, ast.Insert) and statement.query is not None:
+                visit_select(statement.query)
+            if isinstance(statement, (ast.Update, ast.Delete)) and statement.where is not None:
+                visit_expression(statement.where)
+        return tables
+
+    # -- DCL --------------------------------------------------------------------------
+
+    def _execute_dcl(self, statement: Union[ast.Grant, ast.Revoke]) -> StatementResult:
+        dataset = self.dataset()
+        privileges = statement.privileges
+        if isinstance(statement, ast.Grant):
+            self.middleware.privileges.grant(
+                owner=self.client,
+                table=statement.object_name,
+                grantee=statement.grantee,
+                privileges=privileges,
+                dataset=dataset,
+            )
+            self.last_rewritten = []
+            return StatementResult("GRANT")
+        self.middleware.privileges.revoke(
+            owner=self.client,
+            table=statement.object_name,
+            grantee=statement.grantee,
+            privileges=privileges,
+            dataset=dataset,
+        )
+        self.last_rewritten = []
+        return StatementResult("REVOKE")
+
+    # -- DML --------------------------------------------------------------------------
+
+    def _execute_dml(self, statement: Union[ast.Insert, ast.Update, ast.Delete]):
+        privilege = {
+            ast.Insert: "INSERT",
+            ast.Update: "UPDATE",
+            ast.Delete: "DELETE",
+        }[type(statement)]
+        dataset = self._pruned_dataset(statement, privilege=privilege)
+        context = self._rewrite_context(dataset, force_canonical=True)
+        rewriter = DMLRewriter(context)
+        database = self.middleware.database
+
+        if isinstance(statement, ast.Delete):
+            rewritten = rewriter.rewrite_delete(statement)
+            self.last_rewritten = [rewritten]
+            return database.execute(rewritten)
+
+        if isinstance(statement, ast.Update):
+            statements = rewriter.rewrite_update(statement)
+            self.last_rewritten = list(statements)
+            total = 0
+            for rewritten in statements:
+                total += database.execute(rewritten).rowcount
+            return StatementResult("UPDATE", rowcount=total)
+
+        # INSERT
+        if statement.query is not None:
+            return self._execute_insert_select(statement, rewriter, dataset)
+        statements = rewriter.rewrite_insert_values(statement)
+        self.last_rewritten = list(statements)
+        total = 0
+        for rewritten in statements:
+            total += database.execute(rewritten).rowcount
+        return StatementResult("INSERT", rowcount=total)
+
+    def _execute_insert_select(
+        self, statement: ast.Insert, rewriter: DMLRewriter, dataset: tuple[int, ...]
+    ) -> StatementResult:
+        """Appendix A.2: run the sub-query on behalf of C, then insert per owner."""
+        query_result = self._execute_query(statement.query)
+        columns = rewriter.insert_columns(statement)
+        if query_result.rows and len(query_result.rows[0]) != len(columns):
+            raise MTSQLError(
+                f"INSERT ... SELECT: sub-query yields {len(query_result.rows[0])} columns, "
+                f"target list has {len(columns)}"
+            )
+        values_statement = ast.Insert(
+            table=statement.table,
+            columns=tuple(columns),
+            rows=[tuple(ast.Literal(value) for value in row) for row in query_result.rows],
+        )
+        statements = rewriter.rewrite_insert_values(values_statement)
+        self.last_rewritten = list(statements)
+        total = 0
+        for rewritten in statements:
+            total += self.middleware.database.execute(rewritten).rowcount
+        return StatementResult("INSERT", rowcount=total)
+
+    # -- views ------------------------------------------------------------------------
+
+    def _execute_create_view(self, statement: ast.CreateView) -> StatementResult:
+        """Tenant views are created over the rewritten (D-filtered) query."""
+        dataset = self._pruned_dataset(statement.query)
+        rewritten = self._rewrite_query(statement.query, dataset)
+        self.last_rewritten = [rewritten]
+        self.middleware.database.execute(ast.CreateView(name=statement.name, query=rewritten))
+        return StatementResult("CREATE VIEW")

@@ -1,0 +1,177 @@
+"""The MTBase middleware (Figure 4 of the paper).
+
+The middleware sits between clients and an off-the-shelf DBMS (here the
+in-memory engine of :mod:`repro.engine`).  It
+
+* keeps the MT-specific metadata: table generality, attribute comparability,
+  conversion function pairs, tenants and privileges,
+* executes MTSQL DDL by registering the metadata and creating the physical
+  (shared-table / "basic layout") tables — each tenant-specific table gets an
+  invisible ttid column,
+* hands out :class:`~repro.core.client.MTConnection` objects through which
+  clients issue MTSQL statements; the connection performs scope resolution,
+  privilege pruning, the MTSQL→SQL rewrite and the optimization passes before
+  sending plain SQL to the DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+from ..engine.database import Database
+from ..errors import MTSQLError
+from ..sql import ast
+from ..sql.parser import parse_statement
+from .client import MTConnection
+from .conversion import ConversionPair, ConversionRegistry
+from .mtschema import DEFAULT_TTID_COLUMN, MTSchema
+from .optimizer.levels import OptimizationLevel
+from .privileges import PrivilegeManager
+
+
+class MTBase:
+    """An MTBase instance: metadata caches plus the underlying DBMS."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        profile: str = "postgres",
+        default_optimization: OptimizationLevel = OptimizationLevel.O4,
+    ) -> None:
+        self.database = database if database is not None else Database(profile)
+        self.schema = MTSchema()
+        self.conversions = ConversionRegistry()
+        self.privileges = PrivilegeManager()
+        self.default_optimization = default_optimization
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register_tenant(self, ttid: int, name: str = "", **metadata) -> None:
+        """Make a tenant known to the middleware (and grant the §2.3 defaults)."""
+        self.privileges.register_tenant(ttid, name=name, **metadata)
+
+    def tenants(self) -> tuple[int, ...]:
+        return tuple(self.privileges.tenants())
+
+    def allow_cross_tenant_access(
+        self, *tables: str, privileges: tuple[str, ...] = ("READ",)
+    ) -> None:
+        """Let every tenant access every other tenant's rows of ``tables``.
+
+        Convenience for data-sharing agreements (and for the MT-H benchmark);
+        equivalent to every tenant issuing ``GRANT <privileges> ON <table> TO
+        ALL`` with an all-tenant scope.
+        """
+        targets = tables or tuple(table.name for table in self.schema.tenant_specific_tables())
+        for table in targets:
+            self.privileges.grant_public(table, privileges)
+
+    # -- conversion functions -----------------------------------------------------
+
+    def register_conversion_pair(self, pair: ConversionPair) -> ConversionPair:
+        return self.conversions.register(pair)
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def execute_ddl(
+        self,
+        statement: Union[str, ast.Statement],
+        ttid_column: Optional[str] = None,
+    ):
+        """Execute an MTSQL DDL statement issued by the data modeller."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self.create_table(statement, ttid_column=ttid_column)
+        if isinstance(statement, ast.CreateFunction):
+            return self.database.execute(statement)
+        if isinstance(statement, ast.CreateView):
+            return self.database.execute(statement)
+        if isinstance(statement, (ast.DropTable, ast.DropView)):
+            if isinstance(statement, ast.DropTable):
+                self.schema.drop_table(statement.name)
+            return self.database.execute(statement)
+        raise MTSQLError(f"not an MTSQL DDL statement: {type(statement).__name__}")
+
+    def create_table(
+        self,
+        statement: Union[str, ast.CreateTable],
+        ttid_column: Optional[str] = None,
+    ):
+        """Register MT metadata and create the physical shared table.
+
+        Tenant-specific tables get an extra (client-invisible) ttid column;
+        global referential-integrity constraints between two tenant-specific
+        tables are extended with the ttid columns (Appendix A.1).
+        """
+        if isinstance(statement, str):
+            parsed = parse_statement(statement)
+            if not isinstance(parsed, ast.CreateTable):
+                raise MTSQLError("create_table() expects a CREATE TABLE statement")
+            statement = parsed
+        ttid_column = ttid_column or DEFAULT_TTID_COLUMN
+        info = self.schema.add_from_create_table(statement, ttid_column=ttid_column)
+
+        physical_columns = [
+            ast.ColumnDef(
+                name=column.name,
+                type_name=column.type_name,
+                not_null=column.not_null,
+                default=column.default,
+            )
+            for column in statement.columns
+        ]
+        physical_constraints = []
+        if info.is_tenant_specific:
+            physical_columns.insert(
+                0, ast.ColumnDef(name=ttid_column, type_name="INTEGER", not_null=True)
+            )
+        for constraint in statement.constraints:
+            physical_constraints.append(self._physical_constraint(constraint, info, ttid_column))
+
+        physical = ast.CreateTable(
+            name=statement.name,
+            columns=physical_columns,
+            constraints=physical_constraints,
+            generality=None,
+        )
+        self.database.execute(physical)
+        return info
+
+    def _physical_constraint(
+        self, constraint: ast.TableConstraint, info, ttid_column: str
+    ) -> ast.TableConstraint:
+        if not info.is_tenant_specific:
+            return constraint
+        if constraint.kind is ast.ConstraintKind.PRIMARY_KEY:
+            # within a shared table, tenant-specific keys are only unique per tenant
+            return replace(constraint, columns=(ttid_column,) + tuple(constraint.columns))
+        if constraint.kind is ast.ConstraintKind.FOREIGN_KEY:
+            ref_table = constraint.ref_table or ""
+            if self.schema.has_table(ref_table) and self.schema.table(ref_table).is_tenant_specific:
+                ref_ttid = self.schema.table(ref_table).ttid_column
+                return replace(
+                    constraint,
+                    columns=tuple(constraint.columns) + (ttid_column,),
+                    ref_columns=tuple(constraint.ref_columns) + (ref_ttid,),
+                )
+        return constraint
+
+    # -- connections ---------------------------------------------------------------
+
+    def connect(
+        self,
+        ttid: int,
+        optimization: Optional[Union[str, OptimizationLevel]] = None,
+    ) -> MTConnection:
+        """Open a client connection; C is derived from the connection (§2.1)."""
+        if not self.privileges.has_tenant(ttid):
+            raise MTSQLError(f"tenant {ttid} is not registered")
+        if optimization is None:
+            level = self.default_optimization
+        elif isinstance(optimization, OptimizationLevel):
+            level = optimization
+        else:
+            level = OptimizationLevel.from_name(optimization)
+        return MTConnection(self, ttid, level)

@@ -1,0 +1,182 @@
+"""MT schema model: table generality and attribute comparability (§2.2).
+
+The MTBase middleware keeps this metadata (the paper's ``Schema`` meta table)
+next to the physical tables.  The rewrite algorithm consults it to decide,
+per attribute, whether a reference can be compared directly (*comparable*),
+needs conversion through a conversion-function pair (*convertible*), or must
+never be compared across tenants (*tenant-specific*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import CatalogError, MTSQLError
+from ..sql import ast
+
+DEFAULT_TTID_COLUMN = "ttid"
+
+
+@dataclass
+class AttributeInfo:
+    """Comparability metadata for one attribute of a tenant-aware table."""
+
+    name: str
+    comparability: ast.Comparability
+    conversion: Optional[str] = None  # name of the registered conversion pair
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class TableInfo:
+    """MT metadata for one logical table."""
+
+    name: str
+    generality: ast.TableGenerality
+    attributes: dict[str, AttributeInfo] = field(default_factory=dict)
+    ttid_column: str = DEFAULT_TTID_COLUMN
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    @property
+    def is_tenant_specific(self) -> bool:
+        return self.generality is ast.TableGenerality.SPECIFIC
+
+    def attribute(self, name: str) -> AttributeInfo:
+        try:
+            return self.attributes[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {self.name!r} has no attribute {name!r}") from exc
+
+    def has_attribute(self, name: str) -> bool:
+        return name.lower() in self.attributes
+
+    def attribute_names(self) -> list[str]:
+        return [attribute.name for attribute in self.attributes.values()]
+
+    def convertible_attributes(self) -> list[AttributeInfo]:
+        return [
+            attribute
+            for attribute in self.attributes.values()
+            if attribute.comparability is ast.Comparability.CONVERTIBLE
+        ]
+
+    def tenant_specific_attributes(self) -> list[AttributeInfo]:
+        return [
+            attribute
+            for attribute in self.attributes.values()
+            if attribute.comparability is ast.Comparability.SPECIFIC
+        ]
+
+
+class MTSchema:
+    """The middleware's view of which tables/attributes are tenant-aware."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableInfo] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add_table(self, table: TableInfo) -> TableInfo:
+        if table.key in self._tables:
+            raise CatalogError(f"MT table {table.name!r} already registered")
+        self._tables[table.key] = table
+        return table
+
+    def add_from_create_table(
+        self,
+        statement: ast.CreateTable,
+        ttid_column: str = DEFAULT_TTID_COLUMN,
+        conversion_names: Optional[dict[str, str]] = None,
+    ) -> TableInfo:
+        """Derive MT metadata from an MTSQL ``CREATE TABLE`` statement.
+
+        Defaults follow §2.2.1: tables are global unless marked ``SPECIFIC``;
+        attributes of tenant-specific tables default to tenant-specific and
+        attributes of global tables to comparable.  ``conversion_names`` maps
+        attribute name -> registered conversion pair for CONVERTIBLE columns
+        (when omitted, the pair is named after the ``@toUniversal`` function).
+        """
+        generality = statement.generality or ast.TableGenerality.GLOBAL
+        default_comparability = (
+            ast.Comparability.SPECIFIC
+            if generality is ast.TableGenerality.SPECIFIC
+            else ast.Comparability.COMPARABLE
+        )
+        attributes: dict[str, AttributeInfo] = {}
+        for column in statement.columns:
+            comparability = column.comparability or default_comparability
+            conversion = None
+            if comparability is ast.Comparability.CONVERTIBLE:
+                if conversion_names and column.name.lower() in {
+                    key.lower() for key in conversion_names
+                }:
+                    lookup = {key.lower(): value for key, value in conversion_names.items()}
+                    conversion = lookup[column.name.lower()]
+                elif column.to_universal is not None:
+                    conversion = column.to_universal
+                else:
+                    raise MTSQLError(
+                        f"convertible attribute {column.name!r} needs a conversion pair"
+                    )
+            attributes[column.name.lower()] = AttributeInfo(
+                name=column.name, comparability=comparability, conversion=conversion
+            )
+        info = TableInfo(
+            name=statement.name,
+            generality=generality,
+            attributes=attributes,
+            ttid_column=ttid_column,
+        )
+        return self.add_table(info)
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    # -- look-ups ---------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} is not registered in the MT schema") from exc
+
+    def tables(self) -> list[TableInfo]:
+        return list(self._tables.values())
+
+    def tenant_specific_tables(self) -> list[TableInfo]:
+        return [table for table in self._tables.values() if table.is_tenant_specific]
+
+    def global_tables(self) -> list[TableInfo]:
+        return [table for table in self._tables.values() if not table.is_tenant_specific]
+
+    def comparability(self, table_name: str, attribute_name: str) -> ast.Comparability:
+        return self.table(table_name).attribute(attribute_name).comparability
+
+    def conversion_name(self, table_name: str, attribute_name: str) -> Optional[str]:
+        return self.table(table_name).attribute(attribute_name).conversion
+
+    def ttid_column(self, table_name: str) -> str:
+        return self.table(table_name).ttid_column
+
+    def find_attribute_table(
+        self, attribute_name: str, candidate_tables: Iterable[str]
+    ) -> Optional[str]:
+        """Find which of the candidate tables owns an (unqualified) attribute."""
+        owners = [
+            table_name
+            for table_name in candidate_tables
+            if self.has_table(table_name) and self.table(table_name).has_attribute(attribute_name)
+        ]
+        if len(owners) > 1:
+            raise MTSQLError(f"ambiguous attribute reference {attribute_name!r}")
+        return owners[0] if owners else None

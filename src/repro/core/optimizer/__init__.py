@@ -1,0 +1,45 @@
+"""MTSQL-specific query optimizations (§4 of the paper).
+
+:func:`apply_optimizations` runs the post-rewrite passes belonging to an
+:class:`~repro.core.optimizer.levels.OptimizationLevel` on a canonically
+rewritten query.  The *trivial semantic optimizations* (o1) are not a pass:
+they are expressed as :class:`~repro.core.rewrite.context.RewriteOptions`
+computed from C and D before the canonical rewrite runs.
+"""
+
+from __future__ import annotations
+
+from ...sql import ast
+from ..rewrite.context import RewriteContext
+from .distribution import AggregationDistributionOptimizer
+from .inlining import InliningOptimizer
+from .levels import ALL_LEVELS, OptimizationLevel
+from .patterns import find_wraps, match_from_wrap, match_full_wrap, match_to_wrap
+from .pushup import PushUpOptimizer
+
+
+def apply_optimizations(
+    query: ast.Select, level: OptimizationLevel, context: RewriteContext
+) -> ast.Select:
+    """Run the §4.2 passes required by ``level`` on a rewritten query."""
+    if level.applies_pushup:
+        query = PushUpOptimizer(context).apply(query)
+    if level.applies_distribution:
+        query = AggregationDistributionOptimizer(context).apply(query)
+    if level.applies_inlining:
+        query = InliningOptimizer(context).apply(query)
+    return query
+
+
+__all__ = [
+    "OptimizationLevel",
+    "ALL_LEVELS",
+    "apply_optimizations",
+    "PushUpOptimizer",
+    "AggregationDistributionOptimizer",
+    "InliningOptimizer",
+    "find_wraps",
+    "match_full_wrap",
+    "match_from_wrap",
+    "match_to_wrap",
+]

@@ -1,0 +1,62 @@
+"""Optimization levels (Table 6 of the paper)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OptimizationLevel(Enum):
+    """The optimization levels evaluated in the paper's experiments.
+
+    ========== =================================================================
+    level      optimization passes
+    ========== =================================================================
+    CANONICAL  none (the bare canonical rewrite)
+    O1         trivial semantic optimizations (§4.1)
+    O2         O1 + client presentation push-up + conversion push-up (§4.2.1)
+    O3         O2 + conversion function distribution (§4.2.2)
+    O4         O3 + conversion function inlining (§4.2.3)
+    INL_ONLY   O1 + conversion function inlining
+    ========== =================================================================
+    """
+
+    CANONICAL = "canonical"
+    O1 = "o1"
+    O2 = "o2"
+    O3 = "o3"
+    O4 = "o4"
+    INL_ONLY = "inl-only"
+
+    @classmethod
+    def from_name(cls, name: str) -> "OptimizationLevel":
+        normalized = name.strip().lower().replace("_", "-")
+        for level in cls:
+            if level.value == normalized or level.name.lower() == normalized:
+                return level
+        raise ValueError(f"unknown optimization level {name!r}")
+
+    @property
+    def applies_trivial(self) -> bool:
+        return self is not OptimizationLevel.CANONICAL
+
+    @property
+    def applies_pushup(self) -> bool:
+        return self in (OptimizationLevel.O2, OptimizationLevel.O3, OptimizationLevel.O4)
+
+    @property
+    def applies_distribution(self) -> bool:
+        return self in (OptimizationLevel.O3, OptimizationLevel.O4)
+
+    @property
+    def applies_inlining(self) -> bool:
+        return self in (OptimizationLevel.O4, OptimizationLevel.INL_ONLY)
+
+
+ALL_LEVELS = (
+    OptimizationLevel.CANONICAL,
+    OptimizationLevel.O1,
+    OptimizationLevel.O2,
+    OptimizationLevel.O3,
+    OptimizationLevel.O4,
+    OptimizationLevel.INL_ONLY,
+)

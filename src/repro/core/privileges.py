@@ -1,0 +1,194 @@
+"""MTSQL access control (§2.3): tenant-aware GRANT / REVOKE and D pruning.
+
+Privileges are tracked per ``(owner, table, grantee)``: the grant statement
+``GRANT READ ON Employees TO 42`` issued by client ``C`` grants tenant 42
+read access to *C's* rows of ``Employees`` (in the private-table layout this
+would be ``Employees_C``).  Before executing a query, the middleware prunes
+the data set ``D`` down to ``D'``: the owners whose rows the client may read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from ..errors import PrivilegeError
+
+#: the privileges MTSQL knows about
+PRIVILEGES = ("READ", "INSERT", "UPDATE", "DELETE", "GRANT", "REVOKE")
+
+Grantee = Union[int, str]
+
+ALL_TENANTS = "ALL"
+
+
+@dataclass(frozen=True)
+class PrivilegeKey:
+    owner: int
+    table: str
+    grantee: int
+
+
+@dataclass
+class TenantRegistration:
+    """A tenant known to the middleware."""
+
+    ttid: int
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class PrivilegeManager:
+    """Tracks tenants and the privileges they granted to each other."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[int, TenantRegistration] = {}
+        self._grants: dict[PrivilegeKey, set[str]] = {}
+        self._public_grants: dict[str, set[str]] = {}
+
+    # -- tenants -----------------------------------------------------------------
+
+    def register_tenant(self, ttid: int, name: str = "", **metadata) -> TenantRegistration:
+        """Register a tenant; new tenants get the §2.3 default privileges.
+
+        Defaults are implicit: a tenant always has full access to her own
+        rows and READ access to global tables, so only cross-tenant grants
+        are stored explicitly.
+        """
+        registration = TenantRegistration(ttid=ttid, name=name, metadata=dict(metadata))
+        self._tenants[ttid] = registration
+        return registration
+
+    def has_tenant(self, ttid: int) -> bool:
+        return ttid in self._tenants
+
+    def tenants(self) -> list[int]:
+        return sorted(self._tenants)
+
+    def tenant(self, ttid: int) -> TenantRegistration:
+        try:
+            return self._tenants[ttid]
+        except KeyError as exc:
+            raise PrivilegeError(f"unknown tenant {ttid}") from exc
+
+    # -- grants ------------------------------------------------------------------
+
+    def grant(
+        self,
+        owner: int,
+        table: str,
+        grantee: Grantee,
+        privileges: Iterable[str],
+        dataset: Sequence[int] = (),
+    ) -> None:
+        """Apply a GRANT issued by ``owner`` (the client C).
+
+        When ``grantee`` is ``ALL``, the privileges are granted to every
+        tenant in the statement's data set ``D`` (paper §2.3).
+        """
+        privileges = self._normalize_privileges(privileges)
+        for target in self._expand_grantee(grantee, dataset):
+            key = PrivilegeKey(owner=owner, table=table.lower(), grantee=target)
+            self._grants.setdefault(key, set()).update(privileges)
+
+    def revoke(
+        self,
+        owner: int,
+        table: str,
+        grantee: Grantee,
+        privileges: Iterable[str],
+        dataset: Sequence[int] = (),
+    ) -> None:
+        privileges = self._normalize_privileges(privileges)
+        for target in self._expand_grantee(grantee, dataset):
+            key = PrivilegeKey(owner=owner, table=table.lower(), grantee=target)
+            existing = self._grants.get(key)
+            if existing:
+                existing.difference_update(privileges)
+                if not existing:
+                    del self._grants[key]
+
+    def _expand_grantee(self, grantee: Grantee, dataset: Sequence[int]) -> list[int]:
+        if isinstance(grantee, str):
+            if grantee.upper() == ALL_TENANTS:
+                return list(dataset)
+            try:
+                return [int(grantee)]
+            except ValueError as exc:
+                raise PrivilegeError(f"invalid grantee {grantee!r}") from exc
+        return [int(grantee)]
+
+    @staticmethod
+    def _normalize_privileges(privileges: Iterable[str]) -> set[str]:
+        normalized = {privilege.upper() for privilege in privileges}
+        # SELECT is accepted as a synonym of READ for SQL compatibility
+        if "SELECT" in normalized:
+            normalized.discard("SELECT")
+            normalized.add("READ")
+        unknown = normalized - set(PRIVILEGES)
+        if unknown:
+            raise PrivilegeError(f"unknown privileges: {sorted(unknown)}")
+        return normalized
+
+    # -- public (data-sharing-agreement) grants ------------------------------------
+
+    def grant_public(self, table: str, privileges: Iterable[str] = ("READ",)) -> None:
+        """Grant a privilege on ``table`` between *all* pairs of tenants.
+
+        This is a convenience extension over the paper's GRANT statement: a
+        data-sharing agreement under which every tenant lets every other
+        tenant read (or modify) her rows of a table.  The MT-H benchmark uses
+        it so that the research client can query the whole data set without
+        storing O(T²) individual grants.
+        """
+        normalized = self._normalize_privileges(privileges)
+        self._public_grants.setdefault(table.lower(), set()).update(normalized)
+
+    def revoke_public(self, table: str, privileges: Iterable[str] = ("READ",)) -> None:
+        normalized = self._normalize_privileges(privileges)
+        existing = self._public_grants.get(table.lower())
+        if existing:
+            existing.difference_update(normalized)
+            if not existing:
+                del self._public_grants[table.lower()]
+
+    # -- checks -------------------------------------------------------------------
+
+    def has_privilege(self, client: int, owner: int, table: str, privilege: str) -> bool:
+        """Does ``client`` hold ``privilege`` on ``owner``'s rows of ``table``?
+
+        Every tenant implicitly holds every privilege on her own data.
+        """
+        if client == owner:
+            return True
+        if privilege.upper() in self._public_grants.get(table.lower(), set()):
+            return True
+        key = PrivilegeKey(owner=owner, table=table.lower(), grantee=client)
+        return privilege.upper() in self._grants.get(key, set())
+
+    def prune_dataset(
+        self,
+        client: int,
+        dataset: Sequence[int],
+        tables: Iterable[str],
+        privilege: str = "READ",
+    ) -> tuple[int, ...]:
+        """Compute D': drop owners for which the client lacks the privilege.
+
+        A tenant stays in D' when the client holds the privilege on *every*
+        tenant-specific table the statement touches.
+        """
+        tables = [table for table in tables]
+        pruned = []
+        for owner in dataset:
+            if all(self.has_privilege(client, owner, table, privilege) for table in tables):
+                pruned.append(owner)
+        return tuple(sorted(set(pruned)))
+
+    def grants_for(self, owner: int) -> list[tuple[str, int, set[str]]]:
+        """All explicit grants issued on ``owner``'s data (table, grantee, privileges)."""
+        return [
+            (key.table, key.grantee, set(privileges))
+            for key, privileges in self._grants.items()
+            if key.owner == owner
+        ]

@@ -1,0 +1,15 @@
+"""The MTSQL→SQL rewrite machinery (canonical algorithm + shared context)."""
+
+from .bindings import BindingInfo, BindingKind, QueryBindings, ResolvedAttribute
+from .canonical import CanonicalRewriter
+from .context import RewriteContext, RewriteOptions
+
+__all__ = [
+    "BindingInfo",
+    "BindingKind",
+    "QueryBindings",
+    "ResolvedAttribute",
+    "CanonicalRewriter",
+    "RewriteContext",
+    "RewriteOptions",
+]

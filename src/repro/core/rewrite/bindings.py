@@ -1,0 +1,183 @@
+"""Resolution of column references against a query's FROM clause.
+
+The rewriter needs to know, for every column reference, which FROM-clause
+binding it belongs to, whether that binding is a tenant-specific base table
+(and which column carries the ttid) and how the attribute is classified
+(comparable / convertible / tenant-specific).  Derived tables obey the
+rewrite invariant — their output is already filtered by D' and presented in
+client format — so their columns are treated like comparable attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ...errors import RewriteError
+from ...sql import ast
+from ..mtschema import MTSchema, TableInfo
+
+
+class BindingKind(Enum):
+    BASE_TABLE = "base table"
+    DERIVED = "derived"
+
+
+@dataclass
+class BindingInfo:
+    """One FROM-clause entry visible to column resolution."""
+
+    name: str  # binding name (alias or table name), lower case
+    kind: BindingKind
+    table: Optional[TableInfo] = None  # for base tables registered in the MT schema
+    columns: tuple[str, ...] = ()  # lower-cased column names (derived tables)
+
+    @property
+    def is_tenant_specific(self) -> bool:
+        return self.table is not None and self.table.is_tenant_specific
+
+    @property
+    def ttid_column(self) -> Optional[str]:
+        if self.table is not None and self.table.is_tenant_specific:
+            return self.table.ttid_column
+        return None
+
+    def ttid_expression(self) -> ast.Column:
+        if self.ttid_column is None:
+            raise RewriteError(f"binding {self.name!r} has no ttid column")
+        return ast.Column(name=self.ttid_column, table=self.name)
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        if self.table is not None:
+            if self.table.has_attribute(lowered):
+                return True
+            ttid = self.ttid_column
+            return ttid is not None and lowered == ttid.lower()
+        return lowered in self.columns
+
+
+@dataclass
+class ResolvedAttribute:
+    """The result of resolving a column reference."""
+
+    binding: BindingInfo
+    column: ast.Column
+    comparability: ast.Comparability
+    conversion: Optional[str] = None
+
+    @property
+    def is_convertible(self) -> bool:
+        return self.comparability is ast.Comparability.CONVERTIBLE
+
+    @property
+    def is_tenant_specific(self) -> bool:
+        return self.comparability is ast.Comparability.SPECIFIC
+
+
+class QueryBindings:
+    """All bindings of one (sub-)query's FROM clause."""
+
+    def __init__(self, schema: MTSchema, from_items: list[ast.FromItem]) -> None:
+        self._schema = schema
+        self._bindings: dict[str, BindingInfo] = {}
+        for item in from_items:
+            self._collect(item)
+
+    # -- collection --------------------------------------------------------------
+
+    def _collect(self, item: ast.FromItem) -> None:
+        if isinstance(item, ast.TableRef):
+            self._add_table(item)
+        elif isinstance(item, ast.SubqueryRef):
+            self._add_derived(item)
+        elif isinstance(item, ast.Join):
+            self._collect(item.left)
+            self._collect(item.right)
+
+    def _add_table(self, item: ast.TableRef) -> None:
+        binding_name = (item.alias or item.name).lower()
+        if self._schema.has_table(item.name):
+            info = BindingInfo(
+                name=binding_name,
+                kind=BindingKind.BASE_TABLE,
+                table=self._schema.table(item.name),
+            )
+        else:
+            # a table unknown to the MT schema (e.g. a meta table) is treated
+            # as a global table with only comparable columns
+            info = BindingInfo(name=binding_name, kind=BindingKind.BASE_TABLE, table=None)
+        self._bindings[binding_name] = info
+
+    def _add_derived(self, item: ast.SubqueryRef) -> None:
+        columns = []
+        for select_item in item.query.items:
+            name = _output_name(select_item)
+            if name is not None:
+                columns.append(name.lower())
+        self._bindings[item.alias.lower()] = BindingInfo(
+            name=item.alias.lower(), kind=BindingKind.DERIVED, columns=tuple(columns)
+        )
+
+    # -- look-ups ------------------------------------------------------------------
+
+    def bindings(self) -> list[BindingInfo]:
+        return list(self._bindings.values())
+
+    def base_table_bindings(self) -> list[BindingInfo]:
+        return [
+            binding
+            for binding in self._bindings.values()
+            if binding.kind is BindingKind.BASE_TABLE
+        ]
+
+    def tenant_specific_bindings(self) -> list[BindingInfo]:
+        return [binding for binding in self.base_table_bindings() if binding.is_tenant_specific]
+
+    def get(self, name: str) -> Optional[BindingInfo]:
+        return self._bindings.get(name.lower())
+
+    def resolve(self, column: ast.Column) -> Optional[ResolvedAttribute]:
+        """Resolve a column reference; ``None`` for unknown (outer) references."""
+        if column.table is not None:
+            binding = self._bindings.get(column.table.lower())
+            if binding is None or not binding.has_column(column.name):
+                return None
+            return self._describe(binding, column)
+        owners = [
+            binding for binding in self._bindings.values() if binding.has_column(column.name)
+        ]
+        if not owners:
+            return None
+        if len(owners) > 1:
+            raise RewriteError(f"ambiguous column reference {column.name!r}")
+        return self._describe(owners[0], column)
+
+    def _describe(self, binding: BindingInfo, column: ast.Column) -> ResolvedAttribute:
+        if binding.kind is BindingKind.DERIVED or binding.table is None:
+            return ResolvedAttribute(
+                binding=binding, column=column, comparability=ast.Comparability.COMPARABLE
+            )
+        table = binding.table
+        ttid = binding.ttid_column
+        if ttid is not None and column.name.lower() == ttid.lower():
+            # the meta ttid column itself is tenant-specific bookkeeping
+            return ResolvedAttribute(
+                binding=binding, column=column, comparability=ast.Comparability.COMPARABLE
+            )
+        attribute = table.attribute(column.name)
+        return ResolvedAttribute(
+            binding=binding,
+            column=column,
+            comparability=attribute.comparability,
+            conversion=attribute.conversion,
+        )
+
+
+def _output_name(item: ast.SelectItem) -> Optional[str]:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.Column):
+        return item.expr.name
+    return None

@@ -1,0 +1,135 @@
+"""MTSQL scopes: the data set ``D`` a statement operates on (§2.1).
+
+A client sets the scope on its connection:
+
+* ``SET SCOPE = "IN (1, 3, 42)"`` — a :class:`SimpleScope` listing ttids; an
+  empty ``IN ()`` list means *all* tenants in the database,
+* ``SET SCOPE = "FROM Employees WHERE E_salary > 180000"`` — a
+  :class:`ComplexScope`; every tenant owning at least one qualifying record
+  belongs to ``D``,
+* no scope at all defaults to ``{C}`` (:class:`DefaultScope`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ScopeError
+from ..sql import ast
+from ..sql.lexer import TokenType, tokenize
+from ..sql.parser import Parser
+
+
+class Scope:
+    """Base class for MTSQL scopes."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DefaultScope(Scope):
+    """The implicit scope ``D = {C}``."""
+
+    def describe(self) -> str:
+        return "DEFAULT"
+
+
+@dataclass(frozen=True)
+class SimpleScope(Scope):
+    """``IN (t1, t2, ...)``; an empty tuple means every tenant."""
+
+    ttids: tuple[int, ...] = ()
+
+    @property
+    def is_all(self) -> bool:
+        return not self.ttids
+
+    def describe(self) -> str:
+        return f"IN ({', '.join(str(ttid) for ttid in self.ttids)})"
+
+
+@dataclass(frozen=True)
+class ComplexScope(Scope):
+    """``FROM ... WHERE ...`` — resolved to a ttid set by the middleware."""
+
+    from_text: str
+    query: ast.Select
+
+    def describe(self) -> str:
+        return self.from_text
+
+
+def parse_scope(scope_text: str) -> Scope:
+    """Parse the text of a ``SET SCOPE`` statement into a scope object."""
+    text = scope_text.strip()
+    if not text:
+        return SimpleScope(())
+    tokens = tokenize(text)
+    if not tokens or tokens[0].type is TokenType.EOF:
+        return SimpleScope(())
+    head = tokens[0]
+    if head.type is TokenType.IDENT and head.upper == "IN":
+        try:
+            return _parse_simple_scope(text)
+        except ScopeError:
+            raise
+        except Exception as exc:
+            raise ScopeError(f"invalid simple scope {text!r}: {exc}") from exc
+    if head.type is TokenType.IDENT and head.upper == "FROM":
+        return _parse_complex_scope(text)
+    raise ScopeError(f"scope must start with IN or FROM, got {text!r}")
+
+
+def _parse_simple_scope(text: str) -> SimpleScope:
+    parser = Parser(text)
+    parser.expect_keyword("IN")
+    parser.expect_punct("(")
+    ttids: list[int] = []
+    if not parser.accept_punct(")"):
+        while True:
+            value = parser.expect_number()
+            ttids.append(int(value))
+            if parser.accept_punct(")"):
+                break
+            parser.expect_punct(",")
+    parser.expect_end()
+    return SimpleScope(tuple(ttids))
+
+
+def _parse_complex_scope(text: str) -> ComplexScope:
+    # Parse "FROM ... [WHERE ...]" by prepending a SELECT placeholder; the
+    # projection on ttids is added later by the rewriter (Listing 12).
+    try:
+        query = Parser(f"SELECT 1 {text}").parse_select()
+    except Exception as exc:  # pragma: no cover - defensive
+        raise ScopeError(f"invalid complex scope {text!r}: {exc}") from exc
+    if not query.from_items:
+        raise ScopeError("complex scope needs a FROM clause")
+    return ComplexScope(from_text=text, query=query)
+
+
+def scope_dataset(
+    scope: Scope,
+    client: int,
+    all_tenants: Sequence[int],
+    complex_resolver: Optional[callable] = None,
+) -> tuple[int, ...]:
+    """Resolve a scope to the concrete data set ``D``.
+
+    ``complex_resolver(scope)`` must return an iterable of ttids and is only
+    needed for :class:`ComplexScope` (the middleware supplies a callback that
+    rewrites and runs the scope query, Listing 12 of the paper).
+    """
+    if isinstance(scope, DefaultScope):
+        return (client,)
+    if isinstance(scope, SimpleScope):
+        if scope.is_all:
+            return tuple(sorted(all_tenants))
+        return tuple(sorted(set(scope.ttids)))
+    if isinstance(scope, ComplexScope):
+        if complex_resolver is None:
+            raise ScopeError("complex scopes need a resolver callback")
+        return tuple(sorted(set(int(ttid) for ttid in complex_resolver(scope))))
+    raise ScopeError(f"unknown scope type {type(scope).__name__}")

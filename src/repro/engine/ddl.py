@@ -1,0 +1,69 @@
+"""Execution of DDL statements against the engine catalog."""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from ..sql import ast
+from ..sql.types import SQLType
+from .catalog import Catalog
+from .functions import SQLFunction
+from .storage import ColumnSchema, ForeignKey, Table, TableSchema
+
+
+def execute_create_table(catalog: Catalog, statement: ast.CreateTable) -> Table:
+    """Create a base table; MT-specific annotations are ignored by the engine."""
+    columns = [
+        ColumnSchema(
+            name=column.name,
+            sql_type=SQLType.from_name(column.type_name),
+            not_null=column.not_null,
+            default=column.default.value if isinstance(column.default, ast.Literal) else None,
+        )
+        for column in statement.columns
+    ]
+    primary_key: tuple[str, ...] = ()
+    for constraint in statement.constraints:
+        if constraint.kind is ast.ConstraintKind.PRIMARY_KEY:
+            primary_key = constraint.columns
+    schema = TableSchema(name=statement.name, columns=columns, primary_key=primary_key)
+    table = catalog.create_table(schema)
+    for constraint in statement.constraints:
+        if constraint.kind is ast.ConstraintKind.FOREIGN_KEY:
+            catalog.add_foreign_key(
+                ForeignKey(
+                    name=constraint.name,
+                    table=statement.name,
+                    columns=constraint.columns,
+                    ref_table=constraint.ref_table or "",
+                    ref_columns=constraint.ref_columns,
+                )
+            )
+    return table
+
+
+def execute_create_view(catalog: Catalog, statement: ast.CreateView) -> None:
+    catalog.create_view(statement.name, statement.query)
+
+
+def execute_create_function(catalog: Catalog, statement: ast.CreateFunction) -> SQLFunction:
+    if statement.language.upper() != "SQL":
+        raise CatalogError(
+            f"only LANGUAGE SQL functions are supported, got {statement.language!r}"
+        )
+    function = SQLFunction(
+        name=statement.name,
+        body=statement.body,
+        arg_types=statement.arg_types,
+        return_type=statement.return_type,
+        immutable=statement.immutable,
+    )
+    catalog.register_function(function)
+    return function
+
+
+def execute_drop_table(catalog: Catalog, statement: ast.DropTable) -> None:
+    catalog.drop_table(statement.name, if_exists=statement.if_exists)
+
+
+def execute_drop_view(catalog: Catalog, statement: ast.DropView) -> None:
+    catalog.drop_view(statement.name, if_exists=statement.if_exists)

@@ -1,0 +1,82 @@
+"""Execution of INSERT / UPDATE / DELETE statements."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ExecutionError
+from ..sql import ast
+from .expressions import ExpressionCompiler, Scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import ExecutionContext
+
+
+def execute_insert(context: "ExecutionContext", statement: ast.Insert) -> int:
+    """Insert literal rows or the result of a SELECT; returns the row count."""
+    table = context.database.catalog.table(statement.table)
+    inserted = 0
+    if statement.query is not None:
+        result = context.executor.execute(statement.query)
+        for row in result.rows:
+            if statement.columns:
+                table.insert_named(statement.columns, row)
+            else:
+                table.insert_row(row)
+            inserted += 1
+        return inserted
+    compiler = ExpressionCompiler(Scope([]), context)
+    for value_exprs in statement.rows:
+        values = [compiler.compile(expr)((), ()) for expr in value_exprs]
+        if statement.columns:
+            table.insert_named(statement.columns, values)
+        else:
+            table.insert_row(values)
+        inserted += 1
+    return inserted
+
+
+def execute_update(context: "ExecutionContext", statement: ast.Update) -> int:
+    """Update rows in place; returns the number of rows changed."""
+    table = context.database.catalog.table(statement.table)
+    scope = Scope([(statement.table, column.name) for column in table.schema.columns])
+    compiler = ExpressionCompiler(scope, context)
+    predicate = compiler.compile_predicate(statement.where) if statement.where is not None else None
+    assignments = []
+    for assignment in statement.assignments:
+        index = table.schema.column_index(assignment.column)
+        assignments.append((index, compiler.compile(assignment.value)))
+
+    changed = 0
+    new_rows = []
+    for row in table.rows:
+        if predicate is None or predicate(row, ()) is True:
+            values = list(row)
+            for index, value_fn in assignments:
+                values[index] = value_fn(row, ())
+            new_row = tuple(values)
+            table._check_not_null(new_row)
+            new_rows.append(new_row)
+            changed += 1
+        else:
+            new_rows.append(row)
+    table.rows = new_rows
+    table.version += 1
+    return changed
+
+
+def execute_delete(context: "ExecutionContext", statement: ast.Delete) -> int:
+    """Delete matching rows; returns the number of rows removed."""
+    table = context.database.catalog.table(statement.table)
+    if statement.where is None:
+        removed = len(table.rows)
+        table.truncate()
+        return removed
+    scope = Scope([(statement.table, column.name) for column in table.schema.columns])
+    compiler = ExpressionCompiler(scope, context)
+    predicate = compiler.compile_predicate(statement.where)
+    kept = [row for row in table.rows if predicate(row, ()) is not True]
+    removed = len(table.rows) - len(kept)
+    table.rows = kept
+    table.version += 1
+    return removed

@@ -1,0 +1,466 @@
+"""Query executor: prepared SELECT plans, aggregation, ordering, sub-queries.
+
+:class:`Executor` prepares a :class:`PreparedSelect` per statement execution.
+Preparation compiles every expression to a closure (see
+:mod:`repro.engine.expressions`) and plans the joins (see
+:mod:`repro.engine.planner`); running a prepared plan is then a tight loop
+over row tuples.  Prepared plans for uncorrelated sub-queries cache their
+result so that ``x IN (SELECT ...)`` style predicates cost one execution per
+statement, not one per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ExecutionError, FunctionError
+from ..sql import ast
+from ..sql.printer import to_sql
+from ..sql.transform import transform_expression
+from ..sql.types import sort_key
+from .expressions import (
+    CompiledExpr,
+    ExpressionCompiler,
+    Scope,
+    find_aggregates,
+)
+from .functions import BUILTIN_SCALARS, Function, make_aggregate
+from .planner import EmptyPipeline, JoinPipeline, Planner
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a SELECT: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, name: str) -> int:
+        lowered = [column.lower() for column in self.columns]
+        try:
+            return lowered.index(name.lower())
+        except ValueError as exc:
+            raise ExecutionError(f"result has no column {name!r}") from exc
+
+    def column_values(self, name: str) -> list[Any]:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+
+@dataclass
+class ValueSet:
+    """Materialized membership set for IN (sub-query) predicates."""
+
+    values: set
+    has_null: bool
+
+
+@dataclass
+class ExecutionStats:
+    """Statement-level counters surfaced to tests and the benchmark harness."""
+
+    udf_calls: int = 0
+    udf_executions: int = 0
+    udf_cache_hits: int = 0
+    subquery_runs: int = 0
+    statements: int = 0
+
+    def reset(self) -> None:
+        self.udf_calls = 0
+        self.udf_executions = 0
+        self.udf_cache_hits = 0
+        self.subquery_runs = 0
+        self.statements = 0
+
+
+class ExecutionContext:
+    """Services available to compiled expressions at run time."""
+
+    def __init__(self, database, executor: "Executor") -> None:
+        self.database = database
+        self.executor = executor
+
+    # -- functions -----------------------------------------------------------
+
+    def call_function(self, name: str, args: list[Any]) -> Any:
+        catalog = self.database.catalog
+        stats = self.database.stats
+        if catalog.has_function(name):
+            function = catalog.function(name)
+            stats.udf_calls += 1
+            before = function.stats.executions
+            value = function.invoke(
+                args, self, use_cache=self.database.profile.cache_immutable_functions
+            )
+            executed = function.stats.executions - before
+            stats.udf_executions += executed
+            stats.udf_cache_hits += 1 - executed
+            return value
+        builtin = BUILTIN_SCALARS.get(name.lower())
+        if builtin is not None:
+            return builtin(*args)
+        raise FunctionError(f"unknown function {name!r}")
+
+    def run_function_body(self, function: Function, args: list[Any]) -> Any:
+        prepared = self.executor.function_body_plan(function, len(args))
+        rows = prepared.run((tuple(args),))
+        if not rows:
+            return None
+        return rows[0][0]
+
+    # -- sub-queries -----------------------------------------------------------
+
+    def prepare_subquery(self, select: ast.Select, parent_scope: Optional[Scope]) -> "PreparedSelect":
+        return self.executor.prepare(select, parent_scope)
+
+
+class PreparedSelect:
+    """A fully compiled SELECT plan, runnable for any outer-row context."""
+
+    def __init__(self, executor: "Executor", select: ast.Select, parent_scope: Optional[Scope]) -> None:
+        self._executor = executor
+        self._context = executor.context
+        self._select = select
+        self._parent_scope = parent_scope
+        self._cache_rows: Optional[list[tuple]] = None
+        self._cache_value_set: Optional[ValueSet] = None
+        self._scopes: list[Scope] = []
+        self._children: list[PreparedSelect] = []
+        self._compile()
+
+    # -- compilation ----------------------------------------------------------
+
+    def _compile(self) -> None:
+        select = self._select
+        planner = Planner(self._context, self._parent_scope)
+        self._pipeline, self._scope, subquery_conjuncts = planner.plan(select)
+        self._scopes.extend(planner.created_scopes)
+        self._children.extend(self._pipeline.children())
+
+        row_compiler = ExpressionCompiler(self._scope, self._context)
+        self._post_filters = [
+            row_compiler.compile_predicate(conjunct) for conjunct in subquery_conjuncts
+        ]
+
+        items = self._expand_stars(select.items)
+        self.output_columns = [self._output_name(item) for item in items]
+        alias_map = {
+            item.alias.lower(): item.expr for item in items if item.alias is not None
+        }
+
+        aggregates: list[ast.FunctionCall] = []
+        for item in items:
+            aggregates.extend(find_aggregates(item.expr))
+        aggregates.extend(find_aggregates(select.having))
+        for order in select.order_by:
+            aggregates.extend(find_aggregates(self._substitute_aliases(order.expr, alias_map)))
+
+        self._grouped = bool(select.group_by) or bool(aggregates)
+        if self._grouped:
+            self._compile_grouped(select, items, aggregates, alias_map, row_compiler)
+        else:
+            self._compile_plain(select, items, alias_map, row_compiler)
+
+        self._distinct = select.distinct
+        self._limit = select.limit
+        self.correlated = any(scope.uses_parent for scope in self._scopes) or any(
+            child.correlated for child in self._children
+        )
+
+    def _compile_plain(
+        self,
+        select: ast.Select,
+        items: list[ast.SelectItem],
+        alias_map: dict[str, ast.Expression],
+        row_compiler: ExpressionCompiler,
+    ) -> None:
+        if select.having is not None:
+            raise ExecutionError("HAVING requires GROUP BY or aggregation")
+        self._item_fns = [row_compiler.compile(item.expr) for item in items]
+        self._order_fns = [
+            (row_compiler.compile(self._substitute_aliases(order.expr, alias_map)), order.descending)
+            for order in select.order_by
+        ]
+        self._group_key_fns = []
+        self._aggregate_specs = []
+        self._having_fn = None
+
+    def _compile_grouped(
+        self,
+        select: ast.Select,
+        items: list[ast.SelectItem],
+        aggregates: list[ast.FunctionCall],
+        alias_map: dict[str, ast.Expression],
+        row_compiler: ExpressionCompiler,
+    ) -> None:
+        group_exprs = [
+            self._substitute_aliases(expr, alias_map, prefer_input=True)
+            for expr in select.group_by
+        ]
+        unique_aggregates: dict[str, ast.FunctionCall] = {}
+        for aggregate in aggregates:
+            unique_aggregates.setdefault(to_sql(aggregate), aggregate)
+
+        mapping: dict[str, str] = {}
+        group_columns: list[tuple[Optional[str], str]] = []
+        for position, expr in enumerate(group_exprs):
+            placeholder = f"__key_{position}"
+            mapping.setdefault(to_sql(expr), placeholder)
+            group_columns.append((None, placeholder))
+        self._aggregate_specs = []
+        for position, (text, aggregate) in enumerate(unique_aggregates.items()):
+            placeholder = f"__agg_{position}"
+            mapping[text] = placeholder
+            group_columns.append((None, placeholder))
+            if aggregate.args and not isinstance(aggregate.args[0], ast.Star):
+                arg_fn = row_compiler.compile(aggregate.args[0])
+            else:
+                arg_fn = None
+            self._aggregate_specs.append((aggregate, arg_fn))
+
+        self._group_key_fns = [row_compiler.compile(expr) for expr in group_exprs]
+
+        group_scope = Scope(group_columns, parent=self._parent_scope)
+        self._scopes.append(group_scope)
+        group_compiler = ExpressionCompiler(group_scope, self._context)
+
+        def rewrite(expr: Optional[ast.Expression]) -> Optional[ast.Expression]:
+            if expr is None:
+                return None
+            return transform_expression(expr, self._group_replacer(mapping))
+
+        self._item_fns = [group_compiler.compile(rewrite(item.expr)) for item in items]
+        having = rewrite(self._substitute_aliases(select.having, alias_map)) if select.having is not None else None
+        self._having_fn = group_compiler.compile_predicate(having) if having is not None else None
+        self._order_fns = [
+            (
+                group_compiler.compile(rewrite(self._substitute_aliases(order.expr, alias_map))),
+                order.descending,
+            )
+            for order in select.order_by
+        ]
+
+    @staticmethod
+    def _group_replacer(mapping: dict[str, str]):
+        def replacer(node: ast.Expression) -> Optional[ast.Expression]:
+            if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                return None
+            text = to_sql(node)
+            placeholder = mapping.get(text)
+            if placeholder is not None:
+                return ast.Column(name=placeholder)
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                raise ExecutionError(
+                    f"aggregate {text} is not available in this grouping context"
+                )
+            return None
+
+        return replacer
+
+    def _substitute_aliases(
+        self,
+        expr: Optional[ast.Expression],
+        alias_map: dict[str, ast.Expression],
+        prefer_input: bool = False,
+    ) -> Optional[ast.Expression]:
+        """Replace references to SELECT aliases in ORDER BY / GROUP BY / HAVING."""
+        if expr is None or not alias_map:
+            return expr
+
+        def replacer(node: ast.Expression) -> Optional[ast.Expression]:
+            if isinstance(node, ast.Column) and node.table is None:
+                target = alias_map.get(node.name.lower())
+                if target is None:
+                    return None
+                if prefer_input and self._scope.resolve_local(node.name, None) is not None:
+                    return None
+                if self._scope.resolve_local(node.name, None) is not None and isinstance(
+                    target, ast.Column
+                ):
+                    return None
+                return target
+            return None
+
+        return transform_expression(expr, replacer)
+
+    # -- star expansion ---------------------------------------------------------
+
+    def _expand_stars(self, items: list[ast.SelectItem]) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for binding, column in self._pipeline.schema:
+                    if item.expr.table is not None and binding != item.expr.table.lower():
+                        continue
+                    expanded.append(
+                        ast.SelectItem(expr=ast.Column(name=column, table=binding), alias=column)
+                    )
+            else:
+                expanded.append(item)
+        if not expanded:
+            raise ExecutionError("SELECT list is empty after star expansion")
+        return expanded
+
+    @staticmethod
+    def _output_name(item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.Column):
+            return item.expr.name
+        return to_sql(item.expr)
+
+    # -- execution ----------------------------------------------------------------
+
+    def estimate(self) -> int:
+        return self._pipeline.estimate()
+
+    def run(self, outers: tuple = (), limit: Optional[int] = None) -> list[tuple]:
+        if not self.correlated and self._cache_rows is not None:
+            rows = self._cache_rows
+        else:
+            rows = self._run_uncached(outers)
+            if not self.correlated:
+                self._cache_rows = rows
+        if limit is not None:
+            return rows[:limit]
+        return rows
+
+    def run_value_set(self, outers: tuple = ()) -> ValueSet:
+        if not self.correlated and self._cache_value_set is not None:
+            return self._cache_value_set
+        rows = self.run(outers)
+        values = set()
+        has_null = False
+        for row in rows:
+            value = row[0]
+            if value is None:
+                has_null = True
+            else:
+                values.add(value)
+        value_set = ValueSet(values=values, has_null=has_null)
+        if not self.correlated:
+            self._cache_value_set = value_set
+        return value_set
+
+    def _run_uncached(self, outers: tuple) -> list[tuple]:
+        self._context.database.stats.subquery_runs += 1
+        rows = self._pipeline.execute(outers)
+        if self._post_filters:
+            filters = self._post_filters
+            rows = [
+                row
+                for row in rows
+                if all(predicate(row, outers) is True for predicate in filters)
+            ]
+        if self._grouped:
+            projected = self._run_grouped(rows, outers)
+        else:
+            projected = self._run_plain(rows, outers)
+        if self._distinct:
+            projected = self._deduplicate(projected)
+        projected = self._order(projected)
+        result = [row for row, _ in projected]
+        if self._limit is not None:
+            result = result[: self._limit]
+        return result
+
+    def _run_plain(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
+        item_fns = self._item_fns
+        order_fns = self._order_fns
+        projected = []
+        for row in rows:
+            values = tuple(fn(row, outers) for fn in item_fns)
+            keys = tuple(fn(row, outers) for fn, _ in order_fns)
+            projected.append((values, keys))
+        return projected
+
+    def _run_grouped(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
+        groups: dict[tuple, list] = {}
+        group_key_fns = self._group_key_fns
+        has_keys = bool(group_key_fns)
+        for row in rows:
+            key = tuple(fn(row, outers) for fn in group_key_fns) if has_keys else ()
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = [make_aggregate(aggregate) for aggregate, _ in self._aggregate_specs]
+                groups[key] = bucket
+            for accumulator, (_, arg_fn) in zip(bucket, self._aggregate_specs):
+                accumulator.add(arg_fn(row, outers) if arg_fn is not None else row)
+        if not groups and not has_keys:
+            groups[()] = [make_aggregate(aggregate) for aggregate, _ in self._aggregate_specs]
+
+        projected = []
+        for key, accumulators in groups.items():
+            group_row = key + tuple(accumulator.result() for accumulator in accumulators)
+            if self._having_fn is not None and self._having_fn(group_row, outers) is not True:
+                continue
+            values = tuple(fn(group_row, outers) for fn in self._item_fns)
+            keys = tuple(fn(group_row, outers) for fn, _ in self._order_fns)
+            projected.append((values, keys))
+        return projected
+
+    @staticmethod
+    def _deduplicate(projected: list[tuple[tuple, tuple]]) -> list[tuple[tuple, tuple]]:
+        seen = set()
+        unique = []
+        for values, keys in projected:
+            if values in seen:
+                continue
+            seen.add(values)
+            unique.append((values, keys))
+        return unique
+
+    def _order(self, projected: list[tuple[tuple, tuple]]) -> list[tuple[tuple, tuple]]:
+        if not self._order_fns:
+            return projected
+        ordered = list(projected)
+        for position in range(len(self._order_fns) - 1, -1, -1):
+            descending = self._order_fns[position][1]
+            ordered.sort(key=lambda entry: sort_key(entry[1][position]), reverse=descending)
+        return ordered
+
+
+class Executor:
+    """Long-lived executor owned by a :class:`repro.engine.database.Database`."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+        self.context = ExecutionContext(database, self)
+        self._function_body_plans: dict[str, PreparedSelect] = {}
+
+    def execute(self, select: ast.Select) -> QueryResult:
+        prepared = self.prepare(select, None)
+        rows = prepared.run(())
+        return QueryResult(columns=prepared.output_columns, rows=rows)
+
+    def prepare(self, select: ast.Select, parent_scope: Optional[Scope]) -> PreparedSelect:
+        return PreparedSelect(self, select, parent_scope)
+
+    def function_body_plan(self, function: Function, arg_count: int) -> PreparedSelect:
+        plan = self._function_body_plans.get(function.name.lower())
+        if plan is None:
+            parameter_scope = Scope(
+                [(None, f"${position + 1}") for position in range(arg_count)]
+            )
+            plan = self.prepare(function.body, parameter_scope)
+            self._function_body_plans[function.name.lower()] = plan
+        return plan
+
+    def invalidate(self) -> None:
+        """Drop cached plans after DDL changes the catalog."""
+        self._function_body_plans.clear()

@@ -1,0 +1,335 @@
+"""Scalar functions, aggregates and user-defined functions (UDFs).
+
+Two UDF flavours exist, mirroring what MTBase deploys on the DBMS:
+
+* :class:`SQLFunction` — a function whose body is a SQL query with ``$1`` ...
+  ``$n`` parameters (the paper's Listings 4-7 define conversion functions this
+  way).  The body is parsed once and executed by the engine on every call.
+* :class:`PythonFunction` — a thin wrapper around a Python callable, used by
+  the test-suite and by conversion pairs whose semantics are easier to state
+  directly in Python.
+
+A function flagged ``immutable`` may have its results memoized.  Whether the
+engine actually does so is a property of the back-end profile
+(:class:`repro.engine.database.BackendProfile`): the PostgreSQL-like profile
+caches, the System-C-like profile does not — this asymmetry drives the
+appendix experiments of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import FunctionError
+from ..sql import ast
+from ..sql.parser import parse_query
+from ..sql.types import Date
+
+
+# ---------------------------------------------------------------------------
+# User-defined functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionStats:
+    """Per-function call counters, exposed for tests and benchmark reporting."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    executions: int = 0
+
+
+class Function:
+    """Base class for scalar UDFs registered in the catalog."""
+
+    def __init__(self, name: str, immutable: bool = False) -> None:
+        self.name = name
+        self.immutable = immutable
+        self.stats = FunctionStats()
+        self._cache: dict[tuple, Any] = {}
+
+    def invoke(self, args: Sequence[Any], context, use_cache: bool) -> Any:
+        """Call the function, optionally memoizing immutable results."""
+        self.stats.calls += 1
+        if use_cache and self.immutable:
+            try:
+                key = tuple(args)
+                hashable = True
+            except TypeError:  # pragma: no cover - defensive
+                hashable = False
+            if hashable:
+                if key in self._cache:
+                    self.stats.cache_hits += 1
+                    return self._cache[key]
+                value = self._execute(args, context)
+                self.stats.executions += 1
+                self._cache[key] = value
+                return value
+        self.stats.executions += 1
+        return self._execute(args, context)
+
+    def _execute(self, args: Sequence[Any], context) -> Any:
+        raise NotImplementedError
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = FunctionStats()
+
+
+class PythonFunction(Function):
+    """A UDF backed by a Python callable."""
+
+    def __init__(self, name: str, fn: Callable[..., Any], immutable: bool = False) -> None:
+        super().__init__(name, immutable=immutable)
+        self._fn = fn
+
+    def _execute(self, args: Sequence[Any], context) -> Any:
+        return self._fn(*args)
+
+
+class SQLFunction(Function):
+    """A UDF whose body is a SQL query with ``$n`` positional parameters."""
+
+    def __init__(
+        self,
+        name: str,
+        body: str,
+        arg_types: tuple[str, ...] = (),
+        return_type: str = "",
+        immutable: bool = False,
+    ) -> None:
+        super().__init__(name, immutable=immutable)
+        self.body_text = body
+        self.arg_types = arg_types
+        self.return_type = return_type
+        self.body: ast.Select = parse_query(body)
+
+    def _execute(self, args: Sequence[Any], context) -> Any:
+        if context is None:
+            raise FunctionError(
+                f"SQL function {self.name!r} needs an execution context"
+            )
+        return context.run_function_body(self, args)
+
+
+# ---------------------------------------------------------------------------
+# Built-in scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_concat(*args: Any) -> Optional[str]:
+    if any(argument is None for argument in args):
+        return None
+    return "".join(str(argument) for argument in args)
+
+
+def _fn_char_length(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    return len(str(value))
+
+
+def _fn_abs(value: Any) -> Any:
+    if value is None:
+        return None
+    return abs(value)
+
+
+def _fn_round(value: Any, digits: Any = 0) -> Any:
+    if value is None:
+        return None
+    return round(value, int(digits or 0))
+
+
+def _fn_floor(value: Any) -> Any:
+    if value is None:
+        return None
+    return math.floor(value)
+
+
+def _fn_ceil(value: Any) -> Any:
+    if value is None:
+        return None
+    return math.ceil(value)
+
+
+def _fn_upper(value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    return str(value).upper()
+
+
+def _fn_lower(value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    return str(value).lower()
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for argument in args:
+        if argument is not None:
+            return argument
+    return None
+
+
+def _fn_mod(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    return left % right
+
+
+def _fn_year(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, Date):
+        return value.year
+    return Date.from_string(str(value)).year
+
+
+BUILTIN_SCALARS: dict[str, Callable[..., Any]] = {
+    "concat": _fn_concat,
+    "char_length": _fn_char_length,
+    "length": _fn_char_length,
+    "abs": _fn_abs,
+    "round": _fn_round,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "ceiling": _fn_ceil,
+    "upper": _fn_upper,
+    "lower": _fn_lower,
+    "coalesce": _fn_coalesce,
+    "mod": _fn_mod,
+    "year": _fn_year,
+}
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+class Aggregate:
+    """Streaming accumulator interface for SQL aggregate functions."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    def __init__(self, count_star: bool = False) -> None:
+        self._count = 0
+        self._count_star = count_star
+
+    def add(self, value: Any) -> None:
+        if self._count_star or value is not None:
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def result(self) -> Any:
+        return self._total
+
+
+class AvgAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._total += value
+        self._count += 1
+
+    def result(self) -> Any:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._value is None or value < self._value:
+            self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._value is None or value > self._value:
+            self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class DistinctAggregate(Aggregate):
+    """Wraps another aggregate, feeding it each distinct value exactly once."""
+
+    def __init__(self, inner: Aggregate) -> None:
+        self._inner = inner
+        self._seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            self._inner.add(value)
+            return
+        if value in self._seen:
+            return
+        self._seen.add(value)
+        self._inner.add(value)
+
+    def result(self) -> Any:
+        return self._inner.result()
+
+
+def make_aggregate(call: ast.FunctionCall) -> Aggregate:
+    """Build the accumulator matching an aggregate FunctionCall node."""
+    name = call.name.upper()
+    if name == "COUNT":
+        count_star = len(call.args) == 1 and isinstance(call.args[0], ast.Star)
+        base: Aggregate = CountAggregate(count_star=count_star)
+    elif name == "SUM":
+        base = SumAggregate()
+    elif name == "AVG":
+        base = AvgAggregate()
+    elif name == "MIN":
+        base = MinAggregate()
+    elif name == "MAX":
+        base = MaxAggregate()
+    else:
+        raise FunctionError(f"unknown aggregate function {call.name!r}")
+    if call.distinct:
+        return DistinctAggregate(base)
+    return base

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared by the SQL engine and the MTSQL middleware.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so that callers can catch library failures without accidentally swallowing
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL substrate."""
+
+
+class LexerError(SQLError):
+    """Raised when the SQL lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser cannot build an AST from the token stream."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SQLError):
+    """Raised for schema problems: unknown tables/columns, duplicates, ..."""
+
+
+class ExecutionError(SQLError):
+    """Raised when a statement fails during execution."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when an expression combines values of incompatible types."""
+
+
+class ConstraintViolation(ExecutionError):
+    """Raised when a DML statement violates a declared constraint."""
+
+
+class FunctionError(ExecutionError):
+    """Raised when a scalar or aggregate function is misused or fails."""
+
+
+class MTSQLError(ReproError):
+    """Base class for errors raised by the MTSQL middleware layer."""
+
+
+class ScopeError(MTSQLError):
+    """Raised when a ``SET SCOPE`` expression is invalid."""
+
+
+class PrivilegeError(MTSQLError):
+    """Raised when a tenant lacks the privilege required by a statement."""
+
+
+class RewriteError(MTSQLError):
+    """Raised when an MTSQL statement cannot be rewritten to plain SQL.
+
+    The most prominent case is the one §2.4.2 of the paper forbids outright:
+    comparing a tenant-specific attribute with a comparable/convertible one.
+    """
+
+
+class ConversionError(MTSQLError):
+    """Raised when a conversion function pair is invalid or misapplied."""

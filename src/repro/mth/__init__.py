@@ -1,0 +1,41 @@
+"""MT-H: the multi-tenant TPC-H derivative used to evaluate MTBase (§5)."""
+
+from .conversions import (
+    CURRENCIES,
+    PHONE_FORMATS,
+    currency_for_tenant,
+    deploy_conversions,
+    phone_format_for_tenant,
+)
+from .dbgen import TPCHData, generate
+from .loader import MTHInstance, load_mth, load_tpch_baseline
+from .queries import ALL_QUERY_IDS, CONVERSION_INTENSIVE, QUERIES, query_text
+from .schema import GLOBAL_TABLES, MT_DDL, TENANT_SPECIFIC_TABLES, TTID_COLUMNS
+from .tenancy import assign_tenants, tenant_shares
+from .validation import ValidationReport, results_match, validate_queries
+
+__all__ = [
+    "CURRENCIES",
+    "PHONE_FORMATS",
+    "currency_for_tenant",
+    "phone_format_for_tenant",
+    "deploy_conversions",
+    "TPCHData",
+    "generate",
+    "MTHInstance",
+    "load_mth",
+    "load_tpch_baseline",
+    "QUERIES",
+    "ALL_QUERY_IDS",
+    "CONVERSION_INTENSIVE",
+    "query_text",
+    "GLOBAL_TABLES",
+    "TENANT_SPECIFIC_TABLES",
+    "MT_DDL",
+    "TTID_COLUMNS",
+    "assign_tenants",
+    "tenant_shares",
+    "ValidationReport",
+    "results_match",
+    "validate_queries",
+]

@@ -1,0 +1,203 @@
+"""MT-H conversion domains: currencies and phone formats (§5 of the paper).
+
+Each tenant is assigned a currency and a phone format.  Tenant 1 always gets
+the universal format for both (USD, no phone prefix) so that a client
+connecting as tenant 1 sees results directly comparable to plain TPC-H.
+
+The conversion functions are deployed exactly like the paper's Listings 4-7:
+as SQL-bodied UDFs looking up the ``Tenant`` / ``CurrencyTransform`` /
+``PhoneTransform`` meta tables.  For the inlining optimization, constant-time
+look-up helpers (``mt_currency_rate_*``, ``mt_phone_prefix``) are registered
+as immutable Python UDFs — they play the role of the meta-table join the
+paper inlines into the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conversion import ConversionPair, make_currency_pair, make_phone_pair
+from ..core.middleware import MTBase
+
+
+@dataclass(frozen=True)
+class Currency:
+    """One currency: conversion rates to and from the universal format (USD)."""
+
+    key: int
+    code: str
+    to_universal: float  # value_in_currency * to_universal = value_in_usd
+
+    @property
+    def from_universal(self) -> float:
+        return 1.0 / self.to_universal
+
+
+@dataclass(frozen=True)
+class PhoneFormat:
+    """One phone format: the dialling prefix prepended to universal numbers."""
+
+    key: int
+    name: str
+    prefix: str
+
+
+#: the universal currency is USD (rate 1.0); rates are deliberately static —
+#: the paper makes the same simplification (footnote 4)
+CURRENCIES: tuple[Currency, ...] = (
+    Currency(0, "USD", 1.0),
+    Currency(1, "EUR", 1.10),
+    Currency(2, "GBP", 1.28),
+    Currency(3, "CHF", 1.05),
+    Currency(4, "JPY", 0.0067),
+    Currency(5, "CAD", 0.74),
+    Currency(6, "AUD", 0.66),
+    Currency(7, "CNY", 0.14),
+    Currency(8, "INR", 0.012),
+    Currency(9, "BRL", 0.19),
+)
+
+#: the universal phone format has no prefix
+PHONE_FORMATS: tuple[PhoneFormat, ...] = (
+    PhoneFormat(0, "universal", ""),
+    PhoneFormat(1, "plus", "+"),
+    PhoneFormat(2, "double-zero", "00"),
+    PhoneFormat(3, "us-exit", "011"),
+    PhoneFormat(4, "au-exit", "0011"),
+    PhoneFormat(5, "jp-exit", "010"),
+)
+
+
+def currency_for_tenant(ttid: int) -> Currency:
+    """Deterministic currency assignment; tenant 1 gets the universal format."""
+    if ttid == 1:
+        return CURRENCIES[0]
+    return CURRENCIES[(ttid * 7 + 3) % len(CURRENCIES)]
+
+
+def phone_format_for_tenant(ttid: int) -> PhoneFormat:
+    """Deterministic phone-format assignment; tenant 1 gets the universal format."""
+    if ttid == 1:
+        return PHONE_FORMATS[0]
+    return PHONE_FORMATS[(ttid * 5 + 1) % len(PHONE_FORMATS)]
+
+
+# ---------------------------------------------------------------------------
+# Deployment on an MTBase instance
+# ---------------------------------------------------------------------------
+
+META_TABLES_DDL = (
+    """CREATE TABLE Tenant (
+        T_tenant_key INTEGER NOT NULL,
+        T_currency_key INTEGER NOT NULL,
+        T_phone_prefix_key INTEGER NOT NULL,
+        CONSTRAINT pk_tenant PRIMARY KEY (T_tenant_key)
+    )""",
+    """CREATE TABLE CurrencyTransform (
+        CT_currency_key INTEGER NOT NULL,
+        CT_code VARCHAR(3) NOT NULL,
+        CT_to_universal DECIMAL(15,6) NOT NULL,
+        CT_from_universal DECIMAL(15,6) NOT NULL,
+        CONSTRAINT pk_ct PRIMARY KEY (CT_currency_key)
+    )""",
+    """CREATE TABLE PhoneTransform (
+        PT_phone_prefix_key INTEGER NOT NULL,
+        PT_prefix VARCHAR(5) NOT NULL,
+        CONSTRAINT pk_pt PRIMARY KEY (PT_phone_prefix_key)
+    )""",
+)
+
+CURRENCY_TO_UNIVERSAL_SQL = (
+    "SELECT CT_to_universal * $1 FROM Tenant, CurrencyTransform "
+    "WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key"
+)
+CURRENCY_FROM_UNIVERSAL_SQL = (
+    "SELECT CT_from_universal * $1 FROM Tenant, CurrencyTransform "
+    "WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key"
+)
+PHONE_TO_UNIVERSAL_SQL = (
+    "SELECT SUBSTRING($1 FROM CHAR_LENGTH(PT_prefix) + 1) FROM Tenant, PhoneTransform "
+    "WHERE T_tenant_key = $2 AND T_phone_prefix_key = PT_phone_prefix_key"
+)
+PHONE_FROM_UNIVERSAL_SQL = (
+    "SELECT CONCAT(PT_prefix, $1) FROM Tenant, PhoneTransform "
+    "WHERE T_tenant_key = $2 AND T_phone_prefix_key = PT_phone_prefix_key"
+)
+
+
+def deploy_conversions(middleware: MTBase, tenants: list[int]) -> dict[str, ConversionPair]:
+    """Create meta tables, UDFs and conversion pairs for the given tenants."""
+    database = middleware.database
+    for ddl in META_TABLES_DDL:
+        database.execute(ddl)
+
+    database.insert_rows(
+        "CurrencyTransform",
+        [
+            (currency.key, currency.code, currency.to_universal, currency.from_universal)
+            for currency in CURRENCIES
+        ],
+    )
+    database.insert_rows(
+        "PhoneTransform",
+        [(phone.key, phone.prefix) for phone in PHONE_FORMATS],
+    )
+    database.insert_rows(
+        "Tenant",
+        [
+            (ttid, currency_for_tenant(ttid).key, phone_format_for_tenant(ttid).key)
+            for ttid in tenants
+        ],
+    )
+
+    database.register_sql_function(
+        "currencyToUniversal", CURRENCY_TO_UNIVERSAL_SQL, immutable=True
+    )
+    database.register_sql_function(
+        "currencyFromUniversal", CURRENCY_FROM_UNIVERSAL_SQL, immutable=True
+    )
+    database.register_sql_function("phoneToUniversal", PHONE_TO_UNIVERSAL_SQL, immutable=True)
+    database.register_sql_function(
+        "phoneFromUniversal", PHONE_FROM_UNIVERSAL_SQL, immutable=True
+    )
+
+    # O(1) look-up helpers used by the inlined form of the conversions
+    rates_to = {ttid: currency_for_tenant(ttid).to_universal for ttid in tenants}
+    rates_from = {ttid: currency_for_tenant(ttid).from_universal for ttid in tenants}
+    prefixes = {ttid: phone_format_for_tenant(ttid).prefix for ttid in tenants}
+    database.register_python_function(
+        "mt_currency_rate_to_universal", rates_to.__getitem__, immutable=True
+    )
+    database.register_python_function(
+        "mt_currency_rate_from_universal", rates_from.__getitem__, immutable=True
+    )
+    database.register_python_function("mt_phone_prefix", prefixes.__getitem__, immutable=True)
+
+    currency_pair = make_currency_pair()
+    phone_pair = make_phone_pair()
+    middleware.register_conversion_pair(currency_pair)
+    middleware.register_conversion_pair(phone_pair)
+    return {"currency": currency_pair, "phone": phone_pair}
+
+
+# ---------------------------------------------------------------------------
+# Plain-Python converters used by the data generator / loader
+# ---------------------------------------------------------------------------
+
+
+def money_from_universal(value: float, ttid: int) -> float:
+    """Convert a USD amount into the tenant's currency (generator-side)."""
+    return round(value * currency_for_tenant(ttid).from_universal, 4)
+
+
+def money_to_universal(value: float, ttid: int) -> float:
+    return round(value * currency_for_tenant(ttid).to_universal, 4)
+
+
+def phone_from_universal(value: str, ttid: int) -> str:
+    return phone_format_for_tenant(ttid).prefix + value
+
+
+def phone_to_universal(value: str, ttid: int) -> str:
+    prefix = phone_format_for_tenant(ttid).prefix
+    return value[len(prefix):] if prefix and value.startswith(prefix) else value

@@ -1,0 +1,146 @@
+"""Loading MT-H: build the multi-tenant database and the TPC-H baseline.
+
+:func:`load_mth` generates one TPC-H data set, assigns customers (and their
+orders and line items) to tenants, converts the convertible attributes into
+each owner's format and loads everything into an :class:`~repro.core.MTBase`
+instance.  :func:`load_tpch_baseline` loads the *same* generated data into a
+plain single-tenant database, which is the comparison baseline used in all of
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.middleware import MTBase
+from ..engine.database import Database
+from . import conversions as conv
+from .dbgen import TPCHData, generate
+from .schema import CREATION_ORDER, MT_DDL, TENANT_SPECIFIC_TABLES, TTID_COLUMNS, plain_ddl
+from .tenancy import assign_tenants
+
+#: positions of convertible columns in the *logical* (generated) row layout
+CONVERTIBLE_COLUMNS = {
+    "customer": {"currency": (5,), "phone": (4,)},
+    "orders": {"currency": (3,), "phone": ()},
+    "lineitem": {"currency": (5,), "phone": ()},
+}
+
+
+@dataclass
+class MTHInstance:
+    """A loaded MT-H database plus the metadata the harness needs."""
+
+    middleware: MTBase
+    data: TPCHData
+    tenants: int
+    distribution: str
+    scale_factor: float
+    customer_tenants: list[int]
+
+    @property
+    def database(self) -> Database:
+        return self.middleware.database
+
+
+def load_mth(
+    scale_factor: float = 0.001,
+    tenants: int = 10,
+    distribution: str = "uniform",
+    profile: str = "postgres",
+    seed: int = 20180326,
+    data: Optional[TPCHData] = None,
+) -> MTHInstance:
+    """Generate (or reuse) TPC-H data and load it as a multi-tenant MT-H database."""
+    if data is None:
+        data = generate(scale_factor=scale_factor, seed=seed)
+    middleware = MTBase(profile=profile)
+
+    tenant_ids = list(range(1, tenants + 1))
+    for ttid in tenant_ids:
+        middleware.register_tenant(
+            ttid,
+            name=f"tenant-{ttid}",
+            currency=conv.currency_for_tenant(ttid).code,
+            phone_format=conv.phone_format_for_tenant(ttid).name,
+        )
+    conv.deploy_conversions(middleware, tenant_ids)
+
+    for table in CREATION_ORDER:
+        middleware.create_table(MT_DDL[table], ttid_column=TTID_COLUMNS.get(table))
+
+    # global tables: loaded verbatim
+    for table in CREATION_ORDER:
+        if table in TENANT_SPECIFIC_TABLES:
+            continue
+        middleware.database.insert_rows(table, data.table(table))
+
+    # tenant-specific tables: assign customers to tenants, propagate to orders
+    # and line items, convert convertible values into the owner's format
+    customer_tenants = assign_tenants(len(data.customer), tenants, distribution)
+    custkey_to_tenant = {
+        row[0]: ttid for row, ttid in zip(data.customer, customer_tenants)
+    }
+    orderkey_to_tenant: dict[int, int] = {}
+
+    middleware.database.insert_rows(
+        "customer",
+        [
+            _owned_row("customer", row, ttid)
+            for row, ttid in zip(data.customer, customer_tenants)
+        ],
+    )
+
+    order_rows = []
+    for row in data.orders:
+        ttid = custkey_to_tenant[row[1]]
+        orderkey_to_tenant[row[0]] = ttid
+        order_rows.append(_owned_row("orders", row, ttid))
+    middleware.database.insert_rows("orders", order_rows)
+
+    middleware.database.insert_rows(
+        "lineitem",
+        [
+            _owned_row("lineitem", row, orderkey_to_tenant[row[0]])
+            for row in data.lineitem
+        ],
+    )
+
+    # the research scenario: every tenant may read every other tenant's data
+    middleware.allow_cross_tenant_access()
+
+    return MTHInstance(
+        middleware=middleware,
+        data=data,
+        tenants=tenants,
+        distribution=distribution,
+        scale_factor=data.scale_factor,
+        customer_tenants=customer_tenants,
+    )
+
+
+def load_tpch_baseline(
+    data: Optional[TPCHData] = None,
+    scale_factor: float = 0.001,
+    profile: str = "postgres",
+    seed: int = 20180326,
+) -> Database:
+    """Load the same data as a plain single-tenant TPC-H database."""
+    if data is None:
+        data = generate(scale_factor=scale_factor, seed=seed)
+    database = Database(profile)
+    for table in CREATION_ORDER:
+        database.execute(plain_ddl(table))
+        database.insert_rows(table, data.table(table))
+    return database
+
+
+def _owned_row(table: str, row: tuple, ttid: int) -> tuple:
+    """Prefix the ttid and convert convertible values into the owner's format."""
+    values = list(row)
+    for position in CONVERTIBLE_COLUMNS[table]["currency"]:
+        values[position] = conv.money_from_universal(values[position], ttid)
+    for position in CONVERTIBLE_COLUMNS[table]["phone"]:
+        values[position] = conv.phone_from_universal(values[position], ttid)
+    return (ttid, *values)

@@ -1,0 +1,160 @@
+"""MT-H schema: TPC-H tables with MT-H's multi-tenancy annotations (§5).
+
+``Nation``, ``Region``, ``Supplier``, ``Part`` and ``Partsupp`` are global
+(common, publicly available knowledge); ``Customer``, ``Orders`` and
+``Lineitem`` are tenant-specific.  Keys that reference tenant-specific tables
+are tenant-specific attributes; monetary values (``c_acctbal``,
+``o_totalprice``, ``l_extendedprice``) are convertible through the currency
+pair and ``c_phone`` through the phone pair.  Everything else is comparable.
+"""
+
+from __future__ import annotations
+
+#: column name of the invisible tenant id per tenant-specific table
+TTID_COLUMNS = {
+    "customer": "c_ttid",
+    "orders": "o_ttid",
+    "lineitem": "l_ttid",
+}
+
+GLOBAL_TABLES = ("region", "nation", "supplier", "part", "partsupp")
+TENANT_SPECIFIC_TABLES = ("customer", "orders", "lineitem")
+ALL_TABLES = GLOBAL_TABLES + TENANT_SPECIFIC_TABLES
+
+
+MT_DDL: dict[str, str] = {
+    "region": """
+        CREATE TABLE region GLOBAL (
+            r_regionkey INTEGER NOT NULL,
+            r_name VARCHAR(25) NOT NULL,
+            r_comment VARCHAR(152),
+            CONSTRAINT pk_region PRIMARY KEY (r_regionkey)
+        )""",
+    "nation": """
+        CREATE TABLE nation GLOBAL (
+            n_nationkey INTEGER NOT NULL,
+            n_name VARCHAR(25) NOT NULL,
+            n_regionkey INTEGER NOT NULL,
+            n_comment VARCHAR(152),
+            CONSTRAINT pk_nation PRIMARY KEY (n_nationkey),
+            CONSTRAINT fk_nation_region FOREIGN KEY (n_regionkey) REFERENCES region (r_regionkey)
+        )""",
+    "supplier": """
+        CREATE TABLE supplier GLOBAL (
+            s_suppkey INTEGER NOT NULL,
+            s_name VARCHAR(25) NOT NULL,
+            s_address VARCHAR(40) NOT NULL,
+            s_nationkey INTEGER NOT NULL,
+            s_phone VARCHAR(15) NOT NULL,
+            s_acctbal DECIMAL(15,2) NOT NULL,
+            s_comment VARCHAR(101),
+            CONSTRAINT pk_supplier PRIMARY KEY (s_suppkey),
+            CONSTRAINT fk_supplier_nation FOREIGN KEY (s_nationkey) REFERENCES nation (n_nationkey)
+        )""",
+    "part": """
+        CREATE TABLE part GLOBAL (
+            p_partkey INTEGER NOT NULL,
+            p_name VARCHAR(55) NOT NULL,
+            p_mfgr VARCHAR(25) NOT NULL,
+            p_brand VARCHAR(10) NOT NULL,
+            p_type VARCHAR(25) NOT NULL,
+            p_size INTEGER NOT NULL,
+            p_container VARCHAR(10) NOT NULL,
+            p_retailprice DECIMAL(15,2) NOT NULL,
+            p_comment VARCHAR(23),
+            CONSTRAINT pk_part PRIMARY KEY (p_partkey)
+        )""",
+    "partsupp": """
+        CREATE TABLE partsupp GLOBAL (
+            ps_partkey INTEGER NOT NULL,
+            ps_suppkey INTEGER NOT NULL,
+            ps_availqty INTEGER NOT NULL,
+            ps_supplycost DECIMAL(15,2) NOT NULL,
+            ps_comment VARCHAR(199),
+            CONSTRAINT fk_ps_part FOREIGN KEY (ps_partkey) REFERENCES part (p_partkey),
+            CONSTRAINT fk_ps_supp FOREIGN KEY (ps_suppkey) REFERENCES supplier (s_suppkey)
+        )""",
+    "customer": """
+        CREATE TABLE customer SPECIFIC (
+            c_custkey INTEGER NOT NULL SPECIFIC,
+            c_name VARCHAR(25) NOT NULL COMPARABLE,
+            c_address VARCHAR(40) NOT NULL COMPARABLE,
+            c_nationkey INTEGER NOT NULL COMPARABLE,
+            c_phone VARCHAR(15) NOT NULL CONVERTIBLE @phoneToUniversal @phoneFromUniversal,
+            c_acctbal DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+            c_mktsegment VARCHAR(10) NOT NULL COMPARABLE,
+            c_comment VARCHAR(117) COMPARABLE,
+            CONSTRAINT pk_customer PRIMARY KEY (c_custkey),
+            CONSTRAINT fk_customer_nation FOREIGN KEY (c_nationkey) REFERENCES nation (n_nationkey)
+        )""",
+    "orders": """
+        CREATE TABLE orders SPECIFIC (
+            o_orderkey INTEGER NOT NULL SPECIFIC,
+            o_custkey INTEGER NOT NULL SPECIFIC,
+            o_orderstatus VARCHAR(1) NOT NULL COMPARABLE,
+            o_totalprice DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+            o_orderdate DATE NOT NULL COMPARABLE,
+            o_orderpriority VARCHAR(15) NOT NULL COMPARABLE,
+            o_clerk VARCHAR(15) NOT NULL COMPARABLE,
+            o_shippriority INTEGER NOT NULL COMPARABLE,
+            o_comment VARCHAR(79) COMPARABLE,
+            CONSTRAINT pk_orders PRIMARY KEY (o_orderkey),
+            CONSTRAINT fk_orders_customer FOREIGN KEY (o_custkey) REFERENCES customer (c_custkey)
+        )""",
+    "lineitem": """
+        CREATE TABLE lineitem SPECIFIC (
+            l_orderkey INTEGER NOT NULL SPECIFIC,
+            l_partkey INTEGER NOT NULL COMPARABLE,
+            l_suppkey INTEGER NOT NULL COMPARABLE,
+            l_linenumber INTEGER NOT NULL COMPARABLE,
+            l_quantity DECIMAL(15,2) NOT NULL COMPARABLE,
+            l_extendedprice DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+            l_discount DECIMAL(15,2) NOT NULL COMPARABLE,
+            l_tax DECIMAL(15,2) NOT NULL COMPARABLE,
+            l_returnflag VARCHAR(1) NOT NULL COMPARABLE,
+            l_linestatus VARCHAR(1) NOT NULL COMPARABLE,
+            l_shipdate DATE NOT NULL COMPARABLE,
+            l_commitdate DATE NOT NULL COMPARABLE,
+            l_receiptdate DATE NOT NULL COMPARABLE,
+            l_shipinstruct VARCHAR(25) NOT NULL COMPARABLE,
+            l_shipmode VARCHAR(10) NOT NULL COMPARABLE,
+            l_comment VARCHAR(44) COMPARABLE,
+            CONSTRAINT fk_lineitem_orders FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey),
+            CONSTRAINT fk_lineitem_part FOREIGN KEY (l_partkey) REFERENCES part (p_partkey),
+            CONSTRAINT fk_lineitem_supp FOREIGN KEY (l_suppkey) REFERENCES supplier (s_suppkey)
+        )""",
+}
+
+
+def plain_ddl(table: str) -> str:
+    """The plain-SQL (TPC-H baseline) version of a table's DDL.
+
+    Strips the MT-specific keywords so the statement can be executed directly
+    on the engine for the single-tenant TPC-H comparison database.
+    """
+    text = MT_DDL[table]
+    for keyword in (" GLOBAL", " SPECIFIC"):
+        text = text.replace(keyword + " (", " (").replace(keyword + ",", ",").replace(
+            keyword + "\n", "\n"
+        )
+    # drop conversion annotations
+    for annotation in (
+        " CONVERTIBLE @phoneToUniversal @phoneFromUniversal",
+        " CONVERTIBLE @currencyToUniversal @currencyFromUniversal",
+        " COMPARABLE",
+    ):
+        text = text.replace(annotation, "")
+    return text
+
+
+#: the order in which tables must be created / loaded (FK dependencies)
+CREATION_ORDER = (
+    "region",
+    "nation",
+    "supplier",
+    "part",
+    "partsupp",
+    "customer",
+    "orders",
+    "lineitem",
+)

@@ -1,0 +1,87 @@
+"""Tenant-share assignment for MT-H: uniform and zipfian distributions (§5).
+
+The benchmark first generates a plain TPC-H data set, then assigns every
+customer to a tenant; orders follow their customer and line items follow
+their order, which preserves all foreign-key relationships per tenant.
+
+Two distributions are supported:
+
+* ``uniform`` — every tenant receives (roughly) the same number of customers,
+* ``zipf``    — tenant 1 gets the largest share and tenant T the smallest,
+  following a Zipf distribution with exponent ``s`` (default 1.0).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def tenant_shares(total: int, tenants: int, distribution: str = "uniform", s: float = 1.0) -> list[int]:
+    """Number of records assigned to each tenant (index 0 = tenant 1).
+
+    Every tenant receives at least one record as long as ``total >= tenants``.
+    """
+    if tenants <= 0:
+        raise ValueError("tenants must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if distribution == "uniform":
+        weights = [1.0] * tenants
+    elif distribution == "zipf":
+        weights = [1.0 / (rank ** s) for rank in range(1, tenants + 1)]
+    else:
+        raise ValueError(f"unknown tenant distribution {distribution!r}")
+    weight_sum = sum(weights)
+    shares = [int(total * weight / weight_sum) for weight in weights]
+    if total >= tenants:
+        for index in range(tenants):
+            if shares[index] == 0:
+                shares[index] = 1
+    deficit = total - sum(shares)
+    index = 0
+    while deficit > 0:
+        shares[index % tenants] += 1
+        deficit -= 1
+        index += 1
+    while deficit < 0:
+        index_max = max(range(tenants), key=lambda position: shares[position])
+        if shares[index_max] <= 1:
+            break
+        shares[index_max] -= 1
+        deficit += 1
+    return shares
+
+
+def assign_tenants(total: int, tenants: int, distribution: str = "uniform", s: float = 1.0) -> list[int]:
+    """Per-record tenant assignment (record index -> ttid in ``1..tenants``).
+
+    Records are assigned round-robin-within-share so that consecutive records
+    spread across tenants, which keeps per-tenant value distributions similar.
+    """
+    shares = tenant_shares(total, tenants, distribution, s)
+    assignment: list[int] = []
+    remaining = list(shares)
+    ttid = 0
+    for _ in range(total):
+        # advance to the next tenant that still has share left
+        for offset in range(tenants):
+            candidate = (ttid + offset) % tenants
+            if remaining[candidate] > 0:
+                ttid = candidate
+                break
+        else:
+            ttid = 0
+        remaining[ttid] -= 1
+        assignment.append(ttid + 1)
+        ttid = (ttid + 1) % tenants
+    return assignment
+
+
+def share_summary(shares: Sequence[int]) -> dict:
+    """Small helper used by reports and tests."""
+    return {
+        "tenants": len(shares),
+        "total": sum(shares),
+        "min": min(shares) if shares else 0,
+        "max": max(shares) if shares else 0,
+    }

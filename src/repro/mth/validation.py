@@ -1,0 +1,103 @@
+"""MT-H result validation (§5, "query validation").
+
+With ``C = 1`` (tenant 1 uses the universal formats) and ``D`` covering every
+tenant, an MT-H query must produce the same result as the plain TPC-H query
+over the same generated data — the MT-H loader only re-owns and re-formats
+the rows, it never changes their information content.  This module compares
+the two result sets with a numeric tolerance (conversion round trips go
+through floating point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.client import MTConnection
+from ..engine.database import Database
+from ..engine.executor import QueryResult
+from ..sql.types import Date
+from .queries import ALL_QUERY_IDS, query_text
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one or more MT-H queries against the baseline."""
+
+    passed: list[int] = field(default_factory=list)
+    failed: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all {len(self.passed)} queries validated"
+        failures = ", ".join(f"Q{query_id}" for query_id in sorted(self.failed))
+        return f"{len(self.passed)} queries validated, failures: {failures}"
+
+
+def normalize_value(value, tolerance: float = 1e-4):
+    """Round floats and render dates so results can be compared order-insensitively."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round(value, 2)
+    if isinstance(value, Date):
+        return str(value)
+    return value
+
+
+def results_match(
+    left: QueryResult, right: QueryResult, tolerance: float = 1e-2
+) -> Optional[str]:
+    """Compare two results; returns ``None`` on match or a mismatch description."""
+    if len(left.rows) != len(right.rows):
+        return f"row count differs: {len(left.rows)} vs {len(right.rows)}"
+    if left.rows and len(left.rows[0]) != len(right.rows[0]):
+        return f"column count differs: {len(left.rows[0])} vs {len(right.rows[0])}"
+    for index, (left_row, right_row) in enumerate(zip(left.rows, right.rows)):
+        for position, (left_value, right_value) in enumerate(zip(left_row, right_row)):
+            if not _values_close(left_value, right_value, tolerance):
+                return (
+                    f"row {index}, column {position}: {left_value!r} != {right_value!r}"
+                )
+    return None
+
+
+def _values_close(left, right, tolerance: float) -> bool:
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        scale = max(1.0, abs(float(left)), abs(float(right)))
+        return abs(float(left) - float(right)) <= tolerance * scale
+    return normalize_value(left) == normalize_value(right)
+
+
+def validate_queries(
+    connection: MTConnection,
+    baseline: Database,
+    query_ids: tuple[int, ...] = ALL_QUERY_IDS,
+    tolerance: float = 1e-2,
+) -> ValidationReport:
+    """Run MT-H queries through the middleware and compare with the baseline.
+
+    ``connection`` must be opened as tenant 1 with an all-tenant scope so that
+    results come back in universal format (§5).
+    """
+    report = ValidationReport()
+    for query_id in query_ids:
+        text = query_text(query_id)
+        try:
+            mt_result = connection.query(text)
+            baseline_result = baseline.query(text)
+        except Exception as exc:  # pragma: no cover - surfaced in the report
+            report.failed[query_id] = f"execution error: {exc}"
+            continue
+        mismatch = results_match(mt_result, baseline_result, tolerance)
+        if mismatch is None:
+            report.passed.append(query_id)
+        else:
+            report.failed[query_id] = mismatch
+    return report

@@ -1,0 +1,23 @@
+"""SQL substrate: lexer, parser, AST and printer for the ``repro`` dialect."""
+
+from . import ast
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_expression, parse_query, parse_statement, parse_statements
+from .printer import to_sql
+from .types import Date, Interval, IntervalUnit, SQLType
+
+__all__ = [
+    "ast",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_expression",
+    "parse_query",
+    "parse_statement",
+    "parse_statements",
+    "to_sql",
+    "Date",
+    "Interval",
+    "IntervalUnit",
+    "SQLType",
+]

@@ -1,0 +1,323 @@
+"""Render AST nodes back into SQL text.
+
+The printer is the counterpart of the parser; ``parse(print(node))`` produces
+a structurally identical tree, which is exercised by property-based tests.
+The MTBase middleware uses it to emit the rewritten SQL statements it sends to
+the underlying DBMS, and the examples use it to show the rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SQLError
+from . import ast
+from .types import Date, Interval
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render any AST node as SQL text."""
+    printer = _PRINTERS.get(type(node))
+    if printer is None:
+        raise SQLError(f"cannot print node of type {type(node).__name__}")
+    return printer(node)
+
+
+def _literal(node: ast.Literal) -> str:
+    return format_literal(node.value)
+
+
+def format_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value == int(value):
+            return f"{value:.1f}"
+        return str(value)
+    if isinstance(value, Date):
+        return f"DATE '{value}'"
+    if isinstance(value, Interval):
+        return f"INTERVAL '{value.amount}' {value.unit.value}"
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _column(node: ast.Column) -> str:
+    return node.qualified
+
+
+def _star(node: ast.Star) -> str:
+    return f"{node.table}.*" if node.table else "*"
+
+
+def _function_call(node: ast.FunctionCall) -> str:
+    prefix = "DISTINCT " if node.distinct else ""
+    args = ", ".join(to_sql(argument) for argument in node.args)
+    return f"{node.name}({prefix}{args})"
+
+
+_NO_PARENS = (ast.Literal, ast.Column, ast.FunctionCall, ast.Star, ast.ScalarSubquery,
+              ast.Extract, ast.Substring, ast.Case)
+
+
+def _operand(expr: ast.Expression) -> str:
+    text = to_sql(expr)
+    if isinstance(expr, _NO_PARENS):
+        return text
+    return f"({text})"
+
+
+def _binary_op(node: ast.BinaryOp) -> str:
+    if node.op in ("AND", "OR"):
+        return f"{_operand(node.left)} {node.op} {_operand(node.right)}"
+    return f"{_operand(node.left)} {node.op} {_operand(node.right)}"
+
+
+def _unary_op(node: ast.UnaryOp) -> str:
+    if node.op == "NOT":
+        return f"NOT {_operand(node.operand)}"
+    return f"{node.op}{_operand(node.operand)}"
+
+
+def _case(node: ast.Case) -> str:
+    parts = ["CASE"]
+    for when in node.whens:
+        parts.append(f"WHEN {to_sql(when.condition)} THEN {to_sql(when.result)}")
+    if node.else_result is not None:
+        parts.append(f"ELSE {to_sql(node.else_result)}")
+    parts.append("END")
+    return " ".join(parts)
+
+
+def _in_list(node: ast.InList) -> str:
+    keyword = "NOT IN" if node.negated else "IN"
+    items = ", ".join(to_sql(item) for item in node.items)
+    return f"{_operand(node.expr)} {keyword} ({items})"
+
+
+def _in_subquery(node: ast.InSubquery) -> str:
+    keyword = "NOT IN" if node.negated else "IN"
+    return f"{_operand(node.expr)} {keyword} ({to_sql(node.query)})"
+
+
+def _exists(node: ast.Exists) -> str:
+    keyword = "NOT EXISTS" if node.negated else "EXISTS"
+    return f"{keyword} ({to_sql(node.query)})"
+
+
+def _between(node: ast.Between) -> str:
+    keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+    return f"{_operand(node.expr)} {keyword} {_operand(node.low)} AND {_operand(node.high)}"
+
+
+def _like(node: ast.Like) -> str:
+    keyword = "NOT LIKE" if node.negated else "LIKE"
+    return f"{_operand(node.expr)} {keyword} {_operand(node.pattern)}"
+
+
+def _is_null(node: ast.IsNull) -> str:
+    keyword = "IS NOT NULL" if node.negated else "IS NULL"
+    return f"{_operand(node.expr)} {keyword}"
+
+
+def _scalar_subquery(node: ast.ScalarSubquery) -> str:
+    return f"({to_sql(node.query)})"
+
+
+def _extract(node: ast.Extract) -> str:
+    return f"EXTRACT({node.part} FROM {to_sql(node.expr)})"
+
+
+def _substring(node: ast.Substring) -> str:
+    if node.length is None:
+        return f"SUBSTRING({to_sql(node.expr)} FROM {to_sql(node.start)})"
+    return (
+        f"SUBSTRING({to_sql(node.expr)} FROM {to_sql(node.start)}"
+        f" FOR {to_sql(node.length)})"
+    )
+
+
+def _table_ref(node: ast.TableRef) -> str:
+    return f"{node.name} {node.alias}" if node.alias else node.name
+
+
+def _subquery_ref(node: ast.SubqueryRef) -> str:
+    return f"({to_sql(node.query)}) AS {node.alias}"
+
+
+def _join(node: ast.Join) -> str:
+    left = to_sql(node.left)
+    right = to_sql(node.right)
+    if node.join_type is ast.JoinType.CROSS:
+        return f"{left} CROSS JOIN {right}"
+    keyword = "LEFT JOIN" if node.join_type is ast.JoinType.LEFT else "JOIN"
+    return f"{left} {keyword} {right} ON {to_sql(node.condition)}"
+
+
+def _select(node: ast.Select) -> str:
+    parts = ["SELECT"]
+    if node.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in node.items:
+        text = to_sql(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if node.from_items:
+        parts.append("FROM " + ", ".join(to_sql(item) for item in node.from_items))
+    if node.where is not None:
+        parts.append("WHERE " + to_sql(node.where))
+    if node.group_by:
+        parts.append("GROUP BY " + ", ".join(to_sql(expr) for expr in node.group_by))
+    if node.having is not None:
+        parts.append("HAVING " + to_sql(node.having))
+    if node.order_by:
+        rendered = []
+        for order in node.order_by:
+            text = to_sql(order.expr)
+            if order.descending:
+                text += " DESC"
+            rendered.append(text)
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if node.limit is not None:
+        parts.append(f"LIMIT {node.limit}")
+    return " ".join(parts)
+
+
+def _column_def(node: ast.ColumnDef) -> str:
+    parts = [node.name, node.type_name]
+    if node.not_null:
+        parts.append("NOT NULL")
+    if node.comparability is ast.Comparability.SPECIFIC:
+        parts.append("SPECIFIC")
+    elif node.comparability is ast.Comparability.COMPARABLE:
+        parts.append("COMPARABLE")
+    elif node.comparability is ast.Comparability.CONVERTIBLE:
+        parts.append(f"CONVERTIBLE @{node.to_universal} @{node.from_universal}")
+    if node.default is not None:
+        parts.append("DEFAULT " + to_sql(node.default))
+    return " ".join(parts)
+
+
+def _table_constraint(node: ast.TableConstraint) -> str:
+    prefix = f"CONSTRAINT {node.name} " if node.name else ""
+    if node.kind is ast.ConstraintKind.PRIMARY_KEY:
+        return f"{prefix}PRIMARY KEY ({', '.join(node.columns)})"
+    if node.kind is ast.ConstraintKind.UNIQUE:
+        return f"{prefix}UNIQUE ({', '.join(node.columns)})"
+    if node.kind is ast.ConstraintKind.FOREIGN_KEY:
+        return (
+            f"{prefix}FOREIGN KEY ({', '.join(node.columns)}) "
+            f"REFERENCES {node.ref_table} ({', '.join(node.ref_columns)})"
+        )
+    return f"{prefix}CHECK ({to_sql(node.check)})"
+
+
+def _create_table(node: ast.CreateTable) -> str:
+    generality = ""
+    if node.generality is ast.TableGenerality.SPECIFIC:
+        generality = " SPECIFIC"
+    elif node.generality is ast.TableGenerality.GLOBAL:
+        generality = " GLOBAL"
+    entries = [_column_def(column) for column in node.columns]
+    entries.extend(_table_constraint(constraint) for constraint in node.constraints)
+    return f"CREATE TABLE {node.name}{generality} ({', '.join(entries)})"
+
+
+def _create_view(node: ast.CreateView) -> str:
+    return f"CREATE VIEW {node.name} AS {to_sql(node.query)}"
+
+
+def _create_function(node: ast.CreateFunction) -> str:
+    body = node.body.replace("'", "''")
+    immutable = " IMMUTABLE" if node.immutable else ""
+    return (
+        f"CREATE FUNCTION {node.name} ({', '.join(node.arg_types)}) "
+        f"RETURNS {node.return_type} AS '{body}' LANGUAGE {node.language}{immutable}"
+    )
+
+
+def _drop_table(node: ast.DropTable) -> str:
+    clause = "IF EXISTS " if node.if_exists else ""
+    return f"DROP TABLE {clause}{node.name}"
+
+
+def _drop_view(node: ast.DropView) -> str:
+    clause = "IF EXISTS " if node.if_exists else ""
+    return f"DROP VIEW {clause}{node.name}"
+
+
+def _insert(node: ast.Insert) -> str:
+    columns = f" ({', '.join(node.columns)})" if node.columns else ""
+    if node.query is not None:
+        return f"INSERT INTO {node.table}{columns} {to_sql(node.query)}"
+    rows = ", ".join(
+        "(" + ", ".join(to_sql(value) for value in row) + ")" for row in node.rows
+    )
+    return f"INSERT INTO {node.table}{columns} VALUES {rows}"
+
+
+def _update(node: ast.Update) -> str:
+    assignments = ", ".join(
+        f"{assignment.column} = {to_sql(assignment.value)}" for assignment in node.assignments
+    )
+    where = f" WHERE {to_sql(node.where)}" if node.where is not None else ""
+    return f"UPDATE {node.table} SET {assignments}{where}"
+
+
+def _delete(node: ast.Delete) -> str:
+    where = f" WHERE {to_sql(node.where)}" if node.where is not None else ""
+    return f"DELETE FROM {node.table}{where}"
+
+
+def _grant(node: ast.Grant) -> str:
+    return f"GRANT {', '.join(node.privileges)} ON {node.object_name} TO {node.grantee}"
+
+
+def _revoke(node: ast.Revoke) -> str:
+    return f"REVOKE {', '.join(node.privileges)} ON {node.object_name} FROM {node.grantee}"
+
+
+def _set_scope(node: ast.SetScope) -> str:
+    return f'SET SCOPE = "{node.scope_text}"'
+
+
+_PRINTERS = {
+    ast.Literal: _literal,
+    ast.Column: _column,
+    ast.Star: _star,
+    ast.FunctionCall: _function_call,
+    ast.BinaryOp: _binary_op,
+    ast.UnaryOp: _unary_op,
+    ast.Case: _case,
+    ast.InList: _in_list,
+    ast.InSubquery: _in_subquery,
+    ast.Exists: _exists,
+    ast.Between: _between,
+    ast.Like: _like,
+    ast.IsNull: _is_null,
+    ast.ScalarSubquery: _scalar_subquery,
+    ast.Extract: _extract,
+    ast.Substring: _substring,
+    ast.TableRef: _table_ref,
+    ast.SubqueryRef: _subquery_ref,
+    ast.Join: _join,
+    ast.Select: _select,
+    ast.ColumnDef: _column_def,
+    ast.TableConstraint: _table_constraint,
+    ast.CreateTable: _create_table,
+    ast.CreateView: _create_view,
+    ast.CreateFunction: _create_function,
+    ast.DropTable: _drop_table,
+    ast.DropView: _drop_view,
+    ast.Insert: _insert,
+    ast.Update: _update,
+    ast.Delete: _delete,
+    ast.Grant: _grant,
+    ast.Revoke: _revoke,
+    ast.SetScope: _set_scope,
+}

@@ -1,0 +1,136 @@
+"""Generic AST transformation helpers shared by the executor and the rewriter.
+
+:func:`transform_expression` rebuilds an expression tree bottom-up... actually
+top-down: the supplied function sees each node first; when it returns a
+replacement node that subtree is used as-is, otherwise the children are
+transformed recursively and the node is rebuilt.  Sub-queries nested inside
+expressions are left untouched unless ``descend_subqueries`` is set, in which
+case their SELECT/WHERE/... expressions are transformed with the same
+function.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+from typing import Callable, Optional
+
+from . import ast
+
+TransformFn = Callable[[ast.Expression], Optional[ast.Expression]]
+
+
+def transform_expression(
+    expr: Optional[ast.Expression],
+    fn: TransformFn,
+    descend_subqueries: bool = False,
+) -> Optional[ast.Expression]:
+    """Return a new expression tree with ``fn`` applied at every node."""
+    if expr is None:
+        return None
+    replacement = fn(expr)
+    if replacement is not None:
+        return replacement
+
+    def recurse(child: Optional[ast.Expression]) -> Optional[ast.Expression]:
+        return transform_expression(child, fn, descend_subqueries)
+
+    if isinstance(expr, (ast.Literal, ast.Column, ast.Star)):
+        return expr
+    if isinstance(expr, ast.FunctionCall):
+        return replace(expr, args=tuple(recurse(argument) for argument in expr.args))
+    if isinstance(expr, ast.BinaryOp):
+        return replace(expr, left=recurse(expr.left), right=recurse(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return replace(expr, operand=recurse(expr.operand))
+    if isinstance(expr, ast.Case):
+        whens = tuple(
+            ast.CaseWhen(condition=recurse(when.condition), result=recurse(when.result))
+            for when in expr.whens
+        )
+        return replace(expr, whens=whens, else_result=recurse(expr.else_result))
+    if isinstance(expr, ast.InList):
+        return replace(
+            expr,
+            expr=recurse(expr.expr),
+            items=tuple(recurse(item) for item in expr.items),
+        )
+    if isinstance(expr, ast.InSubquery):
+        query = (
+            transform_select(expr.query, fn) if descend_subqueries else expr.query
+        )
+        return replace(expr, expr=recurse(expr.expr), query=query)
+    if isinstance(expr, ast.Exists):
+        query = (
+            transform_select(expr.query, fn) if descend_subqueries else expr.query
+        )
+        return replace(expr, query=query)
+    if isinstance(expr, ast.ScalarSubquery):
+        query = (
+            transform_select(expr.query, fn) if descend_subqueries else expr.query
+        )
+        return replace(expr, query=query)
+    if isinstance(expr, ast.Between):
+        return replace(
+            expr,
+            expr=recurse(expr.expr),
+            low=recurse(expr.low),
+            high=recurse(expr.high),
+        )
+    if isinstance(expr, ast.Like):
+        return replace(expr, expr=recurse(expr.expr), pattern=recurse(expr.pattern))
+    if isinstance(expr, ast.IsNull):
+        return replace(expr, expr=recurse(expr.expr))
+    if isinstance(expr, ast.Extract):
+        return replace(expr, expr=recurse(expr.expr))
+    if isinstance(expr, ast.Substring):
+        return replace(
+            expr,
+            expr=recurse(expr.expr),
+            start=recurse(expr.start),
+            length=recurse(expr.length),
+        )
+    return expr
+
+
+def transform_select(select: ast.Select, fn: TransformFn) -> ast.Select:
+    """Apply an expression transform to every expression of a SELECT.
+
+    FROM-clause sub-queries are transformed recursively as well; this is what
+    the MTSQL rewrite passes rely on.
+    """
+    new_select = copy.copy(select)
+    new_select.items = [
+        ast.SelectItem(expr=transform_expression(item.expr, fn, True), alias=item.alias)
+        for item in select.items
+    ]
+    new_select.from_items = [transform_from_item(item, fn) for item in select.from_items]
+    new_select.where = transform_expression(select.where, fn, True)
+    new_select.group_by = [transform_expression(expr, fn, True) for expr in select.group_by]
+    new_select.having = transform_expression(select.having, fn, True)
+    new_select.order_by = [
+        ast.OrderItem(expr=transform_expression(order.expr, fn, True), descending=order.descending)
+        for order in select.order_by
+    ]
+    return new_select
+
+
+def transform_from_item(item: ast.FromItem, fn: TransformFn) -> ast.FromItem:
+    if isinstance(item, ast.TableRef):
+        return ast.TableRef(name=item.name, alias=item.alias)
+    if isinstance(item, ast.SubqueryRef):
+        return ast.SubqueryRef(query=transform_select(item.query, fn), alias=item.alias)
+    if isinstance(item, ast.Join):
+        return ast.Join(
+            left=transform_from_item(item.left, fn),
+            right=transform_from_item(item.right, fn),
+            join_type=item.join_type,
+            condition=transform_expression(item.condition, fn, True),
+            alias=item.alias,
+        )
+    return item
+
+
+def clone_select(select: ast.Select) -> ast.Select:
+    """Deep-ish copy of a SELECT (expressions are immutable, clauses are new)."""
+    return transform_select(select, lambda node: None)

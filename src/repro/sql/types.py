@@ -1,0 +1,227 @@
+"""SQL value model: types, dates, intervals and NULL-aware helpers.
+
+The engine stores values as plain Python objects:
+
+* ``NULL``        -> ``None``
+* ``INTEGER``     -> ``int``
+* ``DECIMAL``     -> ``float`` (sufficient precision for the MT-H workload)
+* ``VARCHAR``     -> ``str``
+* ``DATE``        -> :class:`Date`
+* ``INTERVAL``    -> :class:`Interval`
+* ``BOOLEAN``     -> ``bool``
+
+The helpers in this module implement SQL's three-valued comparison logic
+(``None`` propagates) and the date/interval arithmetic needed by TPC-H style
+queries (``date '1998-12-01' - interval '90' day``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+from ..errors import TypeMismatchError
+
+
+class SQLType(Enum):
+    """Logical column types understood by the engine's catalog."""
+
+    INTEGER = "INTEGER"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SQLType":
+        """Map a SQL type name (possibly with a length spec) to a SQLType."""
+        base = name.strip().upper()
+        if "(" in base:
+            base = base[: base.index("(")].strip()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "DECIMAL": cls.DECIMAL,
+            "NUMERIC": cls.DECIMAL,
+            "FLOAT": cls.DECIMAL,
+            "DOUBLE": cls.DECIMAL,
+            "REAL": cls.DECIMAL,
+            "VARCHAR": cls.VARCHAR,
+            "CHAR": cls.VARCHAR,
+            "TEXT": cls.VARCHAR,
+            "STRING": cls.VARCHAR,
+            "DATE": cls.DATE,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if base not in aliases:
+            raise TypeMismatchError(f"unknown SQL type: {name!r}")
+        return aliases[base]
+
+
+@dataclass(frozen=True, order=True)
+class Date:
+    """A calendar date, stored as days since 1970-01-01.
+
+    Ordering and equality follow calendar order, which makes dates directly
+    usable as sort keys and group keys.
+    """
+
+    days: int
+
+    @classmethod
+    def from_string(cls, text: str) -> "Date":
+        """Parse an ISO ``YYYY-MM-DD`` string."""
+        parsed = _dt.date.fromisoformat(text.strip())
+        return cls((parsed - _dt.date(1970, 1, 1)).days)
+
+    @classmethod
+    def from_ymd(cls, year: int, month: int, day: int) -> "Date":
+        return cls((_dt.date(year, month, day) - _dt.date(1970, 1, 1)).days)
+
+    def to_date(self) -> _dt.date:
+        return _dt.date(1970, 1, 1) + _dt.timedelta(days=self.days)
+
+    @property
+    def year(self) -> int:
+        return self.to_date().year
+
+    @property
+    def month(self) -> int:
+        return self.to_date().month
+
+    @property
+    def day(self) -> int:
+        return self.to_date().day
+
+    def add_days(self, days: int) -> "Date":
+        return Date(self.days + days)
+
+    def add_months(self, months: int) -> "Date":
+        base = self.to_date()
+        month_index = base.year * 12 + (base.month - 1) + months
+        year, month = divmod(month_index, 12)
+        month += 1
+        day = min(base.day, _days_in_month(year, month))
+        return Date.from_ymd(year, month, day)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.to_date().isoformat()
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = _dt.date(year + 1, 1, 1)
+    else:
+        nxt = _dt.date(year, month + 1, 1)
+    return (nxt - _dt.date(year, month, 1)).days
+
+
+class IntervalUnit(Enum):
+    DAY = "DAY"
+    MONTH = "MONTH"
+    YEAR = "YEAR"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A SQL interval such as ``interval '3' month``."""
+
+    amount: int
+    unit: IntervalUnit
+
+    def months(self) -> int:
+        if self.unit is IntervalUnit.MONTH:
+            return self.amount
+        if self.unit is IntervalUnit.YEAR:
+            return self.amount * 12
+        raise TypeMismatchError("day interval has no month component")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"INTERVAL '{self.amount}' {self.unit.value}"
+
+
+def add_date_interval(date: Date, interval: Interval, sign: int = 1) -> Date:
+    """Compute ``date + sign * interval`` with calendar-aware month math."""
+    if interval.unit is IntervalUnit.DAY:
+        return date.add_days(sign * interval.amount)
+    return date.add_months(sign * interval.months())
+
+
+def is_null(value: Any) -> bool:
+    return value is None
+
+
+def sql_equal(left: Any, right: Any) -> Optional[bool]:
+    """SQL ``=``: returns None when either side is NULL."""
+    if left is None or right is None:
+        return None
+    left, right = _coerce_pair(left, right)
+    return left == right
+
+
+def sql_compare(left: Any, right: Any) -> Optional[int]:
+    """Return -1/0/1 like ``cmp`` or ``None`` if either side is NULL."""
+    if left is None or right is None:
+        return None
+    left, right = _coerce_pair(left, right)
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def _coerce_pair(left: Any, right: Any) -> tuple[Any, Any]:
+    """Coerce two non-NULL values into a comparable pair.
+
+    Numeric values (int/float/bool) compare numerically.  A Date never
+    compares with a number or a string; that is a query bug we want surfaced.
+    """
+    if isinstance(left, Date) and isinstance(right, Date):
+        return left, right
+    if isinstance(left, Date) or isinstance(right, Date):
+        if isinstance(left, str):
+            return Date.from_string(left), right
+        if isinstance(right, str):
+            return left, Date.from_string(right)
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    numeric = (int, float, bool)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    raise TypeMismatchError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order key usable for ORDER BY / DISTINCT over mixed NULLs.
+
+    NULLs sort first (PostgreSQL's ``NULLS LAST`` is not needed for MT-H).
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, Date):
+        return (2, value.days)
+    return (3, str(value))
+
+
+def format_value(value: Any) -> str:
+    """Human-readable rendering used by result printers and examples."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

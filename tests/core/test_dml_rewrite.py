@@ -1,0 +1,179 @@
+"""MTSQL DML semantics (§2.5, Appendix A.2): per-owner application and conversion."""
+
+import pytest
+
+from repro.errors import PrivilegeError
+
+
+def salary_of(middleware, name):
+    return middleware.database.query(
+        f"SELECT E_salary FROM Employees WHERE E_name = '{name}'"
+    ).scalar()
+
+
+class TestInsert:
+    def test_insert_into_own_data(self, paper_mt):
+        connection = paper_mt.connect(0)
+        result = connection.execute(
+            "INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) "
+            "VALUES (10, 'Zoe', 0, 3, 90000, 33)"
+        )
+        assert result.rowcount == 1
+        stored = paper_mt.database.query(
+            "SELECT E_ttid, E_salary FROM Employees WHERE E_name = 'Zoe'"
+        ).rows[0]
+        assert stored == (0, 90000)
+
+    def test_insert_on_behalf_of_other_tenant_converts_values(self, paper_mt):
+        connection = paper_mt.connect(0)  # client thinks in USD
+        connection.set_scope("IN (1)")  # inserting into tenant 1's data (EUR)
+        connection.execute(
+            "INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) "
+            "VALUES (11, 'Yan', 0, 2, 110000, 41)"
+        )
+        stored = paper_mt.database.query(
+            "SELECT E_ttid, E_salary FROM Employees WHERE E_name = 'Yan'"
+        ).rows[0]
+        assert stored[0] == 1
+        assert stored[1] == pytest.approx(100_000)  # 110k USD -> 100k EUR
+
+    def test_insert_into_several_tenants_inserts_one_row_each(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        result = connection.execute(
+            "INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) "
+            "VALUES (12, 'Pat', 1, 0, 55000, 29)"
+        )
+        assert result.rowcount == 2
+        rows = paper_mt.database.query(
+            "SELECT E_ttid, E_salary FROM Employees WHERE E_name = 'Pat' ORDER BY E_ttid"
+        ).rows
+        assert rows[0] == (0, 55000)
+        assert rows[1][1] == pytest.approx(50_000)
+
+    def test_insert_select_copies_and_converts(self, paper_mt):
+        """Appendix A.2: copying records on behalf of another tenant."""
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (1)")
+        result = connection.execute(
+            "INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) ("
+            "SELECT E_emp_id + 100, E_name, E_role_id, E_reg_id, E_salary, E_age "
+            "FROM Employees WHERE E_age > 40)"
+        )
+        # the sub-query runs with D = {1} as well: Ed and Nancy qualify
+        assert result.rowcount == 2
+        count = paper_mt.database.query(
+            "SELECT COUNT(*) AS c FROM Employees WHERE E_ttid = 1"
+        ).scalar()
+        assert count == 5
+        # salaries were already in tenant 1's format and stay unchanged
+        copies = paper_mt.database.query(
+            "SELECT E_salary FROM Employees WHERE E_ttid = 1 AND E_emp_id > 100 ORDER BY E_salary"
+        ).rows
+        assert [value for (value,) in copies] == [pytest.approx(200_000), pytest.approx(1_000_000)]
+
+    def test_insert_select_without_not_null_key_fails(self, paper_mt):
+        """Appendix A.2 caveat: NOT NULL tenant-specific keys need explicit values."""
+        from repro.errors import ConstraintViolation
+
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (1)")
+        with pytest.raises(ConstraintViolation):
+            connection.execute(
+                "INSERT INTO Employees (E_name, E_role_id, E_reg_id, E_salary, E_age) ("
+                "SELECT E_name, E_role_id, E_reg_id, E_salary, E_age FROM Employees WHERE E_age > 40)"
+            )
+
+
+class TestUpdate:
+    def test_update_own_rows(self, paper_mt):
+        connection = paper_mt.connect(0)
+        result = connection.execute("UPDATE Employees SET E_salary = 60000 WHERE E_name = 'Patrick'")
+        assert result.rowcount == 1
+        assert salary_of(paper_mt, "Patrick") == 60000
+
+    def test_update_other_tenant_converts_constant(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (1)")
+        connection.execute("UPDATE Employees SET E_salary = 110000 WHERE E_name = 'Allan'")
+        # 110k USD written by a USD client lands as 100k EUR in tenant 1's rows
+        assert salary_of(paper_mt, "Allan") == pytest.approx(100_000)
+
+    def test_update_where_clause_interpreted_in_client_format(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        # 190k USD threshold: hits Alice? no (150k); hits Nancy (200k EUR = 220k USD) and Ed
+        result = connection.execute(
+            "UPDATE Employees SET E_age = 99 WHERE E_salary > 190000"
+        )
+        assert result.rowcount == 2
+        ages = paper_mt.database.query(
+            "SELECT E_name FROM Employees WHERE E_age = 99 ORDER BY E_name"
+        ).rows
+        assert ages == [("Ed",), ("Nancy",)]
+
+    def test_update_only_touches_dataset(self, paper_mt):
+        connection = paper_mt.connect(0)  # default scope {0}
+        result = connection.execute("UPDATE Employees SET E_age = E_age + 1")
+        assert result.rowcount == 3
+        untouched = paper_mt.database.query(
+            "SELECT E_age FROM Employees WHERE E_name = 'Allan'"
+        ).scalar()
+        assert untouched == 25
+
+
+class TestDelete:
+    def test_delete_own_rows_only(self, paper_mt):
+        connection = paper_mt.connect(0)
+        result = connection.execute("DELETE FROM Employees WHERE E_age > 40")
+        assert result.rowcount == 1  # Alice
+        remaining = paper_mt.database.query("SELECT COUNT(*) AS c FROM Employees").scalar()
+        assert remaining == 5
+
+    def test_delete_across_tenants_with_converted_predicate(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        result = connection.execute("DELETE FROM Employees WHERE E_salary > 500000")
+        # only Ed (1M EUR = 1.1M USD) exceeds 500k USD
+        assert result.rowcount == 1
+        assert paper_mt.database.query(
+            "SELECT COUNT(*) AS c FROM Employees WHERE E_name = 'Ed'"
+        ).scalar() == 0
+
+    def test_delete_requires_privilege(self, paper_mt):
+        paper_mt.privileges.revoke_public("Employees", ["DELETE"])
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (1)")
+        with pytest.raises(PrivilegeError):
+            connection.execute("DELETE FROM Employees WHERE E_age > 0")
+
+
+class TestDMLRewriteShapes:
+    def test_update_generates_one_statement_per_owner(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        connection.execute("UPDATE Employees SET E_age = E_age WHERE E_age > 200")
+        assert len(connection.last_rewritten) == 2
+        texts = [statement.to_sql() for statement in connection.last_rewritten]
+        assert any("E_ttid IN (0)" in text for text in texts)
+        assert any("E_ttid IN (1)" in text for text in texts)
+
+    def test_delete_is_a_single_statement_with_dataset_filter(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        connection.execute("DELETE FROM Employees WHERE E_age > 200")
+        assert len(connection.last_rewritten) == 1
+        assert "E_ttid IN (0, 1)" in connection.last_rewritten[0].to_sql()
+
+    def test_insert_conversion_only_for_foreign_owners(self, paper_mt):
+        connection = paper_mt.connect(0)
+        connection.set_scope("IN (0, 1)")
+        connection.execute(
+            "INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) "
+            "VALUES (20, 'Quinn', 2, 1, 70000, 35)"
+        )
+        texts = [statement.to_sql() for statement in connection.last_rewritten]
+        own = next(text for text in texts if ", 0)" in text.split("VALUES")[1])
+        other = next(text for text in texts if text is not own)
+        assert "currencyFromUniversal" not in own
+        assert "currencyFromUniversal" in other

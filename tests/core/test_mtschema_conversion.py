@@ -1,0 +1,236 @@
+"""MT schema metadata and conversion-function pairs (Tables 1 and 2 of the paper)."""
+
+import pytest
+
+from repro.core.conversion import (
+    ConversionPair,
+    ConversionRegistry,
+    distributes_over,
+    make_currency_pair,
+    make_phone_pair,
+    verify_conversion_pair,
+)
+from repro.core.mtschema import MTSchema, TableInfo
+from repro.errors import CatalogError, ConversionError, MTSQLError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+def employees_ddl(convertible: bool = True) -> ast.CreateTable:
+    salary = (
+        "E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,"
+        if convertible
+        else "E_salary DECIMAL(15,2) NOT NULL COMPARABLE,"
+    )
+    return parse_statement(
+        f"""CREATE TABLE Employees SPECIFIC (
+            E_emp_id INTEGER NOT NULL SPECIFIC,
+            E_name VARCHAR(25) NOT NULL COMPARABLE,
+            {salary}
+            E_age INTEGER NOT NULL COMPARABLE
+        )"""
+    )
+
+
+class TestMTSchema:
+    def test_defaults_follow_section_2_2(self):
+        schema = MTSchema()
+        specific = parse_statement(
+            "CREATE TABLE t SPECIFIC (a INTEGER NOT NULL, b INTEGER NOT NULL COMPARABLE)"
+        )
+        info = schema.add_from_create_table(specific)
+        assert info.is_tenant_specific
+        # attributes of tenant-specific tables default to tenant-specific
+        assert info.attribute("a").comparability is ast.Comparability.SPECIFIC
+        assert info.attribute("b").comparability is ast.Comparability.COMPARABLE
+
+        global_table = parse_statement("CREATE TABLE g (x INTEGER NOT NULL)")
+        global_info = schema.add_from_create_table(global_table)
+        assert not global_info.is_tenant_specific
+        # attributes of global tables default to comparable
+        assert global_info.attribute("x").comparability is ast.Comparability.COMPARABLE
+
+    def test_convertible_attribute_records_conversion_pair(self):
+        schema = MTSchema()
+        info = schema.add_from_create_table(employees_ddl(), ttid_column="E_ttid")
+        attribute = info.attribute("E_salary")
+        assert attribute.comparability is ast.Comparability.CONVERTIBLE
+        assert attribute.conversion == "currencyToUniversal"
+        assert info.ttid_column == "E_ttid"
+
+    def test_convertible_without_functions_rejected(self):
+        schema = MTSchema()
+        statement = employees_ddl()
+        for column in statement.columns:
+            if column.name == "E_salary":
+                column.to_universal = None
+        with pytest.raises(MTSQLError):
+            schema.add_from_create_table(statement)
+
+    def test_lookup_helpers(self):
+        schema = MTSchema()
+        schema.add_from_create_table(employees_ddl(), ttid_column="E_ttid")
+        assert schema.has_table("EMPLOYEES")
+        assert schema.comparability("employees", "e_age") is ast.Comparability.COMPARABLE
+        assert schema.conversion_name("employees", "E_salary") == "currencyToUniversal"
+        assert schema.ttid_column("employees") == "E_ttid"
+        assert schema.tenant_specific_tables()[0].name == "Employees"
+        assert schema.global_tables() == []
+
+    def test_duplicate_table_rejected(self):
+        schema = MTSchema()
+        schema.add_from_create_table(employees_ddl())
+        with pytest.raises(CatalogError):
+            schema.add_from_create_table(employees_ddl())
+
+    def test_unknown_attribute_raises(self):
+        schema = MTSchema()
+        schema.add_from_create_table(employees_ddl())
+        with pytest.raises(CatalogError):
+            schema.table("employees").attribute("nope")
+
+    def test_find_attribute_table(self):
+        schema = MTSchema()
+        schema.add_from_create_table(employees_ddl())
+        schema.add_from_create_table(parse_statement("CREATE TABLE g (x INTEGER)"))
+        assert schema.find_attribute_table("E_name", ["employees", "g"]) == "employees"
+        assert schema.find_attribute_table("missing", ["employees", "g"]) is None
+
+    def test_drop_table(self):
+        schema = MTSchema()
+        schema.add_from_create_table(employees_ddl())
+        schema.drop_table("employees")
+        assert not schema.has_table("employees")
+
+    def test_attribute_groups(self):
+        schema = MTSchema()
+        info = schema.add_from_create_table(employees_ddl())
+        assert {a.name for a in info.convertible_attributes()} == {"E_salary"}
+        assert {a.name for a in info.tenant_specific_attributes()} == {"E_emp_id"}
+
+
+class TestConversionPairs:
+    def test_constant_factor_implies_linear_and_order_preserving(self):
+        pair = ConversionPair("c", "to", "from", constant_factor=True)
+        assert pair.linear and pair.order_preserving
+
+    def test_distributability_matrix_matches_table_2(self):
+        constant = ConversionPair("currency", "to", "from", constant_factor=True)
+        linear = ConversionPair("temperature", "to", "from", linear=True)
+        order_only = ConversionPair("rank", "to", "from", order_preserving=True)
+        equality_only = ConversionPair("phone", "to", "from")
+
+        # COUNT distributes over everything
+        for pair in (constant, linear, order_only, equality_only):
+            assert distributes_over("COUNT", pair)
+        # MIN / MAX need order preservation
+        for aggregate in ("MIN", "MAX"):
+            assert distributes_over(aggregate, constant)
+            assert distributes_over(aggregate, linear)
+            assert distributes_over(aggregate, order_only)
+            assert not distributes_over(aggregate, equality_only)
+        # SUM / AVG need linearity
+        for aggregate in ("SUM", "AVG"):
+            assert distributes_over(aggregate, constant)
+            assert distributes_over(aggregate, linear)
+            assert not distributes_over(aggregate, order_only)
+            assert not distributes_over(aggregate, equality_only)
+        # holistic aggregates never distribute
+        assert not distributes_over("MEDIAN", constant)
+
+    def test_registry_lookup_by_name_and_function(self):
+        registry = ConversionRegistry()
+        pair = registry.register(make_currency_pair())
+        assert registry.has("currency")
+        assert registry.get("CURRENCY") is pair
+        assert registry.by_function("currencyToUniversal") is pair
+        assert registry.by_function("currencyFromUniversal") is pair
+        assert registry.resolve("currencyToUniversal") is pair
+        assert registry.by_function("unknown") is None
+        with pytest.raises(ConversionError):
+            registry.resolve("unknown")
+        with pytest.raises(ConversionError):
+            registry.register(make_currency_pair())
+
+    def test_currency_pair_supports_inlining(self):
+        pair = make_currency_pair()
+        assert pair.supports_inlining
+        inline = pair.inline_to(ast.Column("x"), ast.Column("t"))
+        assert isinstance(inline, ast.BinaryOp) and inline.op == "*"
+
+    def test_phone_pair_is_not_order_preserving(self):
+        pair = make_phone_pair()
+        assert not pair.order_preserving
+        assert pair.supports_inlining
+        inline = pair.inline_from(ast.Column("x"), ast.Column("t"))
+        assert isinstance(inline, ast.FunctionCall) and inline.name == "CONCAT"
+
+
+class TestVerifyConversionPair:
+    """Definition 1 checked on concrete function implementations."""
+
+    @staticmethod
+    def _currency_call(name, args):
+        rates = {0: 1.0, 1: 1.1, 2: 0.5}
+        value, tenant = args
+        if name == "to":
+            return value * rates[tenant]
+        return value / rates[tenant]
+
+    def test_valid_pair_passes(self):
+        pair = ConversionPair("currency", "to", "from", constant_factor=True)
+        violations = verify_conversion_pair(
+            self._currency_call, pair, tenants=[0, 1, 2], samples=[0.0, 1.5, 100.0, -3.25]
+        )
+        assert violations == []
+
+    def test_non_invertible_pair_detected(self):
+        def lossy(name, args):
+            value, tenant = args
+            return round(value) if name == "to" else value
+
+        pair = ConversionPair("lossy", "to", "from")
+        violations = verify_conversion_pair(lossy, pair, tenants=[0, 1], samples=[1.4, 2.6])
+        assert violations
+
+    def test_non_equality_preserving_detected(self):
+        def collapsing(name, args):
+            value, tenant = args
+            return 0 if name == "to" else value
+
+        pair = ConversionPair("collapse", "to", "from")
+        violations = verify_conversion_pair(collapsing, pair, tenants=[0], samples=[1, 2])
+        assert any("equality" in violation or "toUniversal" in violation for violation in violations)
+
+    def test_phone_pair_on_running_example(self, paper_mt_phone):
+        # samples must be in every sampled tenant's own format (Definition 1's
+        # bijectivity is over each tenant's domain); '+...' numbers are valid
+        # for both the no-prefix tenant 0 and the '+'-prefix tenant 1
+        middleware = paper_mt_phone
+        context = middleware.database.executor.context
+        pair = middleware.conversions.get("phone")
+        violations = verify_conversion_pair(
+            lambda name, args: context.call_function(name, list(args)),
+            pair,
+            tenants=[0, 1],
+            samples=["+411555001", "+498887766"],
+        )
+        assert violations == []
+
+    def test_phone_pair_direct_conversions(self, paper_mt_phone):
+        context = paper_mt_phone.database.executor.context
+        assert context.call_function("phoneToUniversal", ["+411555", 1]) == "411555"
+        assert context.call_function("phoneFromUniversal", ["411555", 1]) == "+411555"
+        assert context.call_function("phoneToUniversal", ["411555", 0]) == "411555"
+
+    def test_currency_pair_on_running_example(self, paper_mt_session):
+        middleware = paper_mt_session
+        context = middleware.database.executor.context
+        pair = middleware.conversions.get("currency")
+        violations = verify_conversion_pair(
+            lambda name, args: context.call_function(name, list(args)),
+            pair,
+            tenants=[0, 1],
+            samples=[0.0, 50_000.0, 123.45],
+        )
+        assert violations == []

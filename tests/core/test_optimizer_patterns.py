@@ -1,0 +1,120 @@
+"""Pattern recognition helpers shared by the optimization passes."""
+
+import pytest
+
+from repro.core.conversion import ConversionRegistry, make_currency_pair, make_phone_pair
+from repro.core.optimizer.patterns import (
+    contains_conversion_call,
+    find_wraps,
+    match_from_wrap,
+    match_full_wrap,
+    match_to_wrap,
+    on_multiplicative_path,
+)
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ConversionRegistry()
+    reg.register(make_currency_pair())
+    reg.register(make_phone_pair())
+    return reg
+
+
+def expr(text):
+    return parse_expression(text)
+
+
+class TestWrapMatching:
+    def test_full_wrap(self, registry):
+        node = expr("currencyFromUniversal(currencyToUniversal(E_salary, E_ttid), 0)")
+        wrap = match_full_wrap(node, registry)
+        assert wrap is not None
+        assert wrap.pair.name == "currency"
+        assert wrap.value.name == "E_salary"
+        assert wrap.ttid.name == "E_ttid"
+        assert match_from_wrap(node, registry) is None  # not double reported
+
+    def test_from_wrap(self, registry):
+        node = expr("currencyFromUniversal(volume, 0)")
+        wrap = match_from_wrap(node, registry)
+        assert wrap is not None and wrap.value.name == "volume"
+        assert match_full_wrap(node, registry) is None
+
+    def test_to_wrap(self, registry):
+        node = expr("currencyToUniversal(E_salary, E_ttid)")
+        wrap = match_to_wrap(node, registry)
+        assert wrap is not None and wrap.pair.name == "currency"
+
+    def test_mixed_pair_is_not_a_full_wrap(self, registry):
+        node = expr("currencyFromUniversal(phoneToUniversal(E_phone, E_ttid), 0)")
+        assert match_full_wrap(node, registry) is None
+        # it still is a from-wrap of the currency pair around something
+        assert match_from_wrap(node, registry) is not None
+
+    def test_non_conversion_function_ignored(self, registry):
+        assert match_full_wrap(expr("COALESCE(a, b)"), registry) is None
+        assert match_from_wrap(expr("SUM(a)"), registry) is None
+
+    def test_find_wraps_counts_each_wrap_once(self, registry):
+        node = expr(
+            "currencyFromUniversal(currencyToUniversal(a, t), 0) * (1 - d)"
+            " + currencyFromUniversal(u, 0)"
+        )
+        full, partial = find_wraps(node, registry)
+        assert len(full) == 1 and len(partial) == 1
+
+    def test_find_wraps_does_not_enter_subqueries(self, registry):
+        node = expr("x IN (SELECT currencyFromUniversal(currencyToUniversal(a, t), 0) FROM e)")
+        full, partial = find_wraps(node, registry)
+        assert full == [] and partial == []
+
+    def test_contains_conversion_call(self, registry):
+        assert contains_conversion_call(expr("currencyToUniversal(a, t) + 1"), registry)
+        assert not contains_conversion_call(expr("SUM(a) + 1"), registry)
+
+
+class TestMultiplicativePath:
+    def wrap_in(self, template, registry):
+        node = expr(template.format(wrap="currencyFromUniversal(currencyToUniversal(a, t), 0)"))
+        full, _ = find_wraps(node, registry)
+        assert len(full) == 1
+        return node, full[0].node
+
+    @pytest.mark.parametrize(
+        "template",
+        [
+            "{wrap}",
+            "{wrap} * (1 - d)",
+            "(1 - d) * {wrap}",
+            "{wrap} * (1 - d) * (1 + t)",
+            "{wrap} / 7.0",
+            "-{wrap}",
+            "CASE WHEN p LIKE 'PROMO%' THEN {wrap} * (1 - d) ELSE 0 END",
+        ],
+    )
+    def test_valid_multiplicative_paths(self, registry, template):
+        root, target = self.wrap_in(template, registry)
+        assert on_multiplicative_path(root, target)
+
+    @pytest.mark.parametrize(
+        "template",
+        [
+            "{wrap} + 1",
+            "{wrap} - cost * qty",
+            "1 - {wrap}",
+            "7.0 / {wrap}",
+            "CASE WHEN p = 'x' THEN {wrap} ELSE other END",
+            "CASE WHEN {wrap} > 1 THEN 1 ELSE 0 END",
+            "CHAR_LENGTH({wrap})",
+        ],
+    )
+    def test_invalid_paths_rejected(self, registry, template):
+        root, target = self.wrap_in(template, registry)
+        assert not on_multiplicative_path(root, target)
+
+    def test_target_not_in_tree(self, registry):
+        other = expr("a + b")
+        _, target = self.wrap_in("{wrap}", registry)
+        assert not on_multiplicative_path(other, target)

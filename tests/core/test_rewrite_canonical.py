@@ -1,0 +1,281 @@
+"""The canonical MTSQL→SQL rewrite algorithm (§3.1) on the running example."""
+
+import pytest
+
+from repro.core import CanonicalRewriter, RewriteContext, RewriteOptions
+from repro.core.optimizer.levels import OptimizationLevel
+from repro.errors import RewriteError
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+
+
+def make_rewriter(middleware, client=0, dataset=(0, 1), options=None):
+    context = RewriteContext(
+        client=client,
+        dataset=tuple(dataset),
+        schema=middleware.schema,
+        conversions=middleware.conversions,
+        options=options or RewriteOptions.canonical(),
+        all_tenants=middleware.tenants(),
+    )
+    return CanonicalRewriter(context)
+
+
+def rewrite_sql(middleware, sql, **kwargs) -> str:
+    return to_sql(make_rewriter(middleware, **kwargs).rewrite_query(parse_query(sql)))
+
+
+class TestSelectClauseRewriting:
+    def test_convertible_attribute_wrapped_in_conversion_pair(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT E_salary FROM Employees")
+        assert "currencyFromUniversal(currencyToUniversal(E_salary, employees.E_ttid), 0)" in rewritten
+        # the converted value keeps the original attribute name (Listing 10)
+        assert "AS E_salary" in rewritten
+
+    def test_client_format_literal_is_the_connection_client(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT E_salary FROM Employees", client=1)
+        assert "currencyFromUniversal(currencyToUniversal(E_salary, employees.E_ttid), 1)" in rewritten
+
+    def test_aggregated_select_expression(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT AVG(E_salary) AS avg_sal FROM Employees")
+        assert "AVG(currencyFromUniversal(currencyToUniversal(E_salary" in rewritten
+
+    def test_comparable_attributes_untouched(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT E_name, E_age FROM Employees")
+        assert "currencyToUniversal" not in rewritten
+
+    def test_star_expansion_hides_ttid(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT * FROM Employees")
+        assert "E_ttid" in rewritten  # used inside conversion calls and the D-filter ...
+        assert "SELECT employees.E_ttid" not in rewritten  # ... but never projected
+        assert "employees.E_emp_id" in rewritten
+        assert "employees.E_name" in rewritten
+
+    def test_star_expansion_of_global_table(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT * FROM Regions")
+        assert "ttid" not in rewritten.lower()
+        assert "regions.Re_name" in rewritten
+
+
+class TestWhereClauseRewriting:
+    def test_dataset_filter_added_per_tenant_specific_table(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT E_name FROM Employees WHERE E_age > 40")
+        assert "employees.E_ttid IN (0, 1)" in rewritten
+
+    def test_no_dataset_filter_for_global_tables(self, paper_mt_session):
+        rewritten = rewrite_sql(paper_mt_session, "SELECT Re_name FROM Regions")
+        assert "IN (0, 1)" not in rewritten
+
+    def test_conversion_added_to_predicates_on_convertible_attributes(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session, "SELECT E_name FROM Employees WHERE E_salary > 100000"
+        )
+        assert "currencyFromUniversal(currencyToUniversal(E_salary" in rewritten
+        # the constant stays untouched in the canonical rewrite (it is already in C's format)
+        assert "100000" in rewritten
+
+    def test_ttid_predicate_added_to_tenant_specific_joins(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E_name, R_name FROM Employees, Roles WHERE E_role_id = R_role_id",
+        )
+        assert "employees.E_ttid = roles.R_ttid" in rewritten
+
+    def test_no_ttid_predicate_for_comparable_join(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E1.E_name FROM Employees E1, Employees E2 WHERE E1.E_age = E2.E_age",
+        )
+        assert "e1.E_ttid = e2.E_ttid" not in rewritten
+
+    def test_unqualified_ambiguous_column_rejected(self, paper_mt_session):
+        with pytest.raises(RewriteError):
+            rewrite_sql(
+                paper_mt_session,
+                "SELECT E_name FROM Employees E1, Employees E2 WHERE E1.E_age = E2.E_age",
+            )
+
+    def test_self_join_on_tenant_specific_attribute_adds_ttid_predicate(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E1.E_name FROM Employees E1, Employees E2 WHERE E1.E_role_id = E2.E_role_id",
+        )
+        assert "e1.E_ttid = e2.E_ttid" in rewritten
+
+    def test_mixing_tenant_specific_and_comparable_rejected(self, paper_mt_session):
+        with pytest.raises(RewriteError):
+            rewrite_sql(
+                paper_mt_session,
+                "SELECT E_name FROM Employees WHERE E_role_id = E_age",
+            )
+
+    def test_mixing_tenant_specific_and_convertible_rejected(self, paper_mt_session):
+        with pytest.raises(RewriteError):
+            rewrite_sql(
+                paper_mt_session,
+                "SELECT E_name FROM Employees WHERE E_role_id = E_salary",
+            )
+
+    def test_tenant_specific_vs_constant_allowed(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session, "SELECT E_name FROM Employees WHERE E_role_id = 2"
+        )
+        assert "E_role_id = 2" in rewritten
+
+
+class TestSubqueriesAndJoins:
+    def test_from_subquery_rewritten_recursively(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT avg_sal FROM (SELECT AVG(E_salary) AS avg_sal FROM Employees) AS stats",
+        )
+        assert "currencyToUniversal" in rewritten
+        assert rewritten.count("IN (0, 1)") == 1
+
+    def test_scalar_subquery_in_where_rewritten(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E_name FROM Employees WHERE E_salary > (SELECT AVG(E_salary) FROM Employees)",
+        )
+        # both the outer reference and the inner aggregate are converted,
+        # and both Employees occurrences get a D-filter
+        assert rewritten.count("currencyToUniversal") >= 2
+        assert rewritten.count("employees.E_ttid IN (0, 1)") == 2
+
+    def test_explicit_join_condition_rewritten(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E_name, R_name FROM Employees JOIN Roles ON E_role_id = R_role_id",
+        )
+        assert "employees.E_ttid = roles.R_ttid" in rewritten
+
+    def test_left_join_dataset_filter_moves_into_on_clause(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT R_name, COUNT(E_emp_id) AS c FROM Roles LEFT JOIN Employees "
+            "ON E_role_id = R_role_id GROUP BY R_name",
+        )
+        on_clause = rewritten.split(" ON ", 1)[1].split(" WHERE ", 1)[0]
+        assert "employees.E_ttid IN (0, 1)" in on_clause
+        where_clause = rewritten.split(" WHERE ", 1)[1] if " WHERE " in rewritten else ""
+        assert "employees.E_ttid IN (0, 1)" not in where_clause
+
+    def test_group_by_and_having_rewritten(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E_salary, COUNT(*) AS c FROM Employees GROUP BY E_salary HAVING COUNT(*) > 1",
+        )
+        # the grouping key is the converted salary
+        group_clause = rewritten.split("GROUP BY", 1)[1]
+        assert "currencyToUniversal" in group_clause
+
+    def test_order_by_left_unchanged(self, paper_mt_session):
+        rewritten = rewrite_sql(
+            paper_mt_session,
+            "SELECT E_name, E_salary FROM Employees ORDER BY E_salary DESC",
+        )
+        order_clause = rewritten.split("ORDER BY", 1)[1]
+        assert "currencyToUniversal" not in order_clause
+
+
+class TestTrivialOptimizationFlags:
+    def test_flags_for_all_tenants(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (0, 1), (0, 1))
+        assert options.add_dataset_filters is False
+        assert options.add_ttid_join_predicates is True
+        assert options.wrap_conversions is True
+
+    def test_flags_for_single_foreign_tenant(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (1,), (0, 1))
+        assert options.add_dataset_filters is True
+        assert options.add_ttid_join_predicates is False
+        assert options.wrap_conversions is True
+
+    def test_flags_for_own_data(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (0,), (0, 1))
+        assert options.wrap_conversions is False
+        assert options.add_ttid_join_predicates is False
+        assert options.add_dataset_filters is True
+
+    def test_dropping_dataset_filter(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (0, 1), (0, 1))
+        rewritten = rewrite_sql(
+            paper_mt_session, "SELECT E_age FROM Employees", options=options
+        )
+        assert "IN (0, 1)" not in rewritten
+
+    def test_dropping_conversions_for_own_data(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (0,), (0, 1))
+        rewritten = rewrite_sql(
+            paper_mt_session, "SELECT E_salary FROM Employees", dataset=(0,), options=options
+        )
+        assert "currencyToUniversal" not in rewritten
+        assert "employees.E_ttid IN (0)" in rewritten
+
+    def test_validity_check_still_applies_with_single_tenant(self, paper_mt_session):
+        options = RewriteOptions.trivially_optimized(0, (0,), (0, 1))
+        with pytest.raises(RewriteError):
+            rewrite_sql(
+                paper_mt_session,
+                "SELECT E_name FROM Employees WHERE E_role_id = E_age",
+                dataset=(0,),
+                options=options,
+            )
+
+
+class TestScopeQueryRewriting:
+    def test_complex_scope_projects_ttids(self, paper_mt_session):
+        from repro.core.scope import parse_scope
+
+        scope = parse_scope("FROM Employees WHERE E_salary > 180000")
+        rewriter = make_rewriter(paper_mt_session, client=0, dataset=(0, 1))
+        rewritten = rewriter.rewrite_scope_query(scope.query)
+        text = to_sql(rewritten)
+        assert text.startswith("SELECT DISTINCT employees.E_ttid")
+        assert "currencyToUniversal" in text
+        assert "IN (0, 1)" not in text  # the scope query itself is not D-filtered
+
+    def test_scope_query_without_tenant_specific_table_rejected(self, paper_mt_session):
+        from repro.core.scope import parse_scope
+
+        scope = parse_scope("FROM Regions WHERE Re_reg_id > 0")
+        rewriter = make_rewriter(paper_mt_session)
+        with pytest.raises(RewriteError):
+            rewriter.rewrite_scope_query(scope.query)
+
+
+class TestRewriteCorrectnessOnData:
+    """Execute canonical rewrites and compare with hand-computed expectations."""
+
+    def test_average_salary_in_client_format(self, paper_mt_session):
+        connection = paper_mt_session.connect(0, optimization="canonical")
+        connection.set_scope("IN (0, 1)")
+        average = connection.query("SELECT AVG(E_salary) AS a FROM Employees").scalar()
+        expected = (50_000 + 70_000 + 150_000 + (80_000 + 200_000 + 1_000_000) * 1.1) / 6
+        assert average == pytest.approx(expected, rel=1e-6)
+
+    def test_same_query_in_eur_for_tenant_1(self, paper_mt_session):
+        connection = paper_mt_session.connect(1, optimization="canonical")
+        connection.set_scope("IN (0, 1)")
+        average = connection.query("SELECT AVG(E_salary) AS a FROM Employees").scalar()
+        expected = ((50_000 + 70_000 + 150_000) / 1.1 + 80_000 + 200_000 + 1_000_000) / 6
+        assert average == pytest.approx(expected, rel=1e-6)
+
+    def test_join_respects_tenant_boundaries(self, paper_mt_session):
+        connection = paper_mt_session.connect(0, optimization="canonical")
+        connection.set_scope("IN (0, 1)")
+        rows = connection.query(
+            "SELECT E_name, R_name FROM Employees, Roles WHERE E_role_id = R_role_id ORDER BY E_name"
+        ).rows
+        assert ("Ed", "intern") in rows  # tenant 1's role 0 is 'intern'
+        assert ("Ed", "phD stud.") not in rows  # never joined with tenant 0's role 0
+        assert len(rows) == 6
+
+    def test_age_join_crosses_tenants(self, paper_mt_session):
+        connection = paper_mt_session.connect(0, optimization="canonical")
+        connection.set_scope("IN (0, 1)")
+        rows = connection.query(
+            "SELECT E1.E_name, E2.E_name FROM Employees E1, Employees E2 "
+            "WHERE E1.E_age = E2.E_age AND E1.E_name < E2.E_name"
+        ).rows
+        assert rows == [("Alice", "Ed")]

@@ -1,0 +1,157 @@
+"""Scopes (§2.1) and the tenant-aware access control (§2.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.privileges import PrivilegeManager
+from repro.core.scope import (
+    ComplexScope,
+    DefaultScope,
+    SimpleScope,
+    parse_scope,
+    scope_dataset,
+)
+from repro.errors import PrivilegeError, ScopeError
+
+
+class TestScopeParsing:
+    def test_simple_scope(self):
+        scope = parse_scope("IN (1, 3, 42)")
+        assert isinstance(scope, SimpleScope)
+        assert scope.ttids == (1, 3, 42)
+        assert not scope.is_all
+
+    def test_empty_in_list_means_all_tenants(self):
+        scope = parse_scope("IN ()")
+        assert scope.is_all
+
+    def test_empty_string_means_all_tenants(self):
+        assert parse_scope("").is_all
+
+    def test_complex_scope(self):
+        scope = parse_scope("FROM Employees WHERE E_salary > 180000")
+        assert isinstance(scope, ComplexScope)
+        assert scope.query.from_items[0].name == "Employees"
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ScopeError):
+            parse_scope("SELECT 1")
+        with pytest.raises(ScopeError):
+            parse_scope("IN (1")
+
+    def test_describe(self):
+        assert parse_scope("IN (1, 2)").describe() == "IN (1, 2)"
+        assert DefaultScope().describe() == "DEFAULT"
+
+
+class TestScopeDataset:
+    def test_default_scope_is_the_client(self):
+        assert scope_dataset(DefaultScope(), client=7, all_tenants=[1, 2, 7]) == (7,)
+
+    def test_simple_scope_sorted_and_deduplicated(self):
+        scope = SimpleScope((3, 1, 3))
+        assert scope_dataset(scope, client=1, all_tenants=[1, 2, 3]) == (1, 3)
+
+    def test_empty_scope_expands_to_all_tenants(self):
+        scope = SimpleScope(())
+        assert scope_dataset(scope, client=1, all_tenants=[3, 1, 2]) == (1, 2, 3)
+
+    def test_complex_scope_uses_resolver(self):
+        scope = parse_scope("FROM Employees WHERE E_salary > 0")
+        resolved = scope_dataset(
+            scope, client=1, all_tenants=[1, 2, 3], complex_resolver=lambda s: [2, 3, 2]
+        )
+        assert resolved == (2, 3)
+
+    def test_complex_scope_without_resolver_rejected(self):
+        with pytest.raises(ScopeError):
+            scope_dataset(parse_scope("FROM t"), client=1, all_tenants=[1])
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), max_size=10))
+    def test_simple_scope_dataset_is_sorted_unique(self, ttids):
+        result = scope_dataset(SimpleScope(tuple(ttids)), client=1, all_tenants=range(1, 51))
+        assert list(result) == sorted(set(result))
+
+
+class TestPrivileges:
+    def test_own_data_always_accessible(self):
+        manager = PrivilegeManager()
+        manager.register_tenant(1)
+        assert manager.has_privilege(client=1, owner=1, table="t", privilege="READ")
+        assert manager.has_privilege(client=1, owner=1, table="t", privilege="DELETE")
+
+    def test_grant_and_revoke(self):
+        manager = PrivilegeManager()
+        manager.register_tenant(1)
+        manager.register_tenant(2)
+        manager.grant(owner=2, table="Employees", grantee=1, privileges=["READ"])
+        assert manager.has_privilege(1, 2, "employees", "READ")
+        assert not manager.has_privilege(1, 2, "employees", "UPDATE")
+        manager.revoke(owner=2, table="Employees", grantee=1, privileges=["READ"])
+        assert not manager.has_privilege(1, 2, "employees", "READ")
+
+    def test_grant_to_all_uses_the_dataset(self):
+        manager = PrivilegeManager()
+        for ttid in (1, 2, 3, 4):
+            manager.register_tenant(ttid)
+        manager.grant(owner=1, table="t", grantee="ALL", privileges=["READ"], dataset=(2, 3))
+        assert manager.has_privilege(2, 1, "t", "READ")
+        assert manager.has_privilege(3, 1, "t", "READ")
+        assert not manager.has_privilege(4, 1, "t", "READ")
+
+    def test_select_is_a_synonym_for_read(self):
+        manager = PrivilegeManager()
+        manager.grant(owner=2, table="t", grantee=1, privileges=["SELECT"])
+        assert manager.has_privilege(1, 2, "t", "READ")
+
+    def test_unknown_privilege_rejected(self):
+        manager = PrivilegeManager()
+        with pytest.raises(PrivilegeError):
+            manager.grant(owner=1, table="t", grantee=2, privileges=["FLY"])
+
+    def test_invalid_grantee_rejected(self):
+        manager = PrivilegeManager()
+        with pytest.raises(PrivilegeError):
+            manager.grant(owner=1, table="t", grantee="bob", privileges=["READ"])
+
+    def test_public_grants(self):
+        manager = PrivilegeManager()
+        manager.grant_public("lineitem", ["READ"])
+        assert manager.has_privilege(5, 9, "lineitem", "READ")
+        manager.revoke_public("lineitem", ["READ"])
+        assert not manager.has_privilege(5, 9, "lineitem", "READ")
+
+    def test_prune_dataset(self):
+        manager = PrivilegeManager()
+        for ttid in (1, 2, 3):
+            manager.register_tenant(ttid)
+        manager.grant(owner=2, table="orders", grantee=1, privileges=["READ"])
+        manager.grant(owner=2, table="lineitem", grantee=1, privileges=["READ"])
+        manager.grant(owner=3, table="orders", grantee=1, privileges=["READ"])
+        # tenant 3 did not grant lineitem -> pruned when both tables are touched
+        pruned = manager.prune_dataset(client=1, dataset=(1, 2, 3), tables=["orders", "lineitem"])
+        assert pruned == (1, 2)
+        # a statement touching only orders keeps tenant 3
+        assert manager.prune_dataset(1, (1, 2, 3), ["orders"]) == (1, 2, 3)
+
+    def test_prune_with_no_tenant_specific_tables_keeps_everything(self):
+        manager = PrivilegeManager()
+        assert manager.prune_dataset(1, (1, 2, 3), []) == (1, 2, 3)
+
+    def test_grants_for_owner(self):
+        manager = PrivilegeManager()
+        manager.grant(owner=1, table="t", grantee=2, privileges=["READ", "UPDATE"])
+        grants = manager.grants_for(1)
+        assert grants == [("t", 2, {"READ", "UPDATE"})]
+
+    def test_unknown_tenant_lookup_raises(self):
+        manager = PrivilegeManager()
+        with pytest.raises(PrivilegeError):
+            manager.tenant(99)
+
+    @given(st.sets(st.integers(min_value=1, max_value=30), max_size=10))
+    def test_pruning_never_adds_tenants(self, dataset):
+        manager = PrivilegeManager()
+        pruned = manager.prune_dataset(client=1, dataset=tuple(dataset), tables=["t"])
+        assert set(pruned) <= set(dataset) | {1}
+        assert set(pruned) <= set(dataset)

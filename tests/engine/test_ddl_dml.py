@@ -1,0 +1,129 @@
+"""DDL / DML execution and integrity checking."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, ConstraintViolation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE customer (id INTEGER NOT NULL, name VARCHAR(20) NOT NULL,"
+        " balance DECIMAL(10,2) DEFAULT 0, CONSTRAINT pk PRIMARY KEY (id))"
+    )
+    database.execute(
+        "CREATE TABLE orders (id INTEGER NOT NULL, cust INTEGER NOT NULL,"
+        " CONSTRAINT pk_o PRIMARY KEY (id),"
+        " CONSTRAINT fk_o FOREIGN KEY (cust) REFERENCES customer (id))"
+    )
+    return database
+
+
+class TestDDL:
+    def test_create_table_registers_schema(self, db):
+        table = db.catalog.table("customer")
+        assert table.schema.column_names == ["id", "name", "balance"]
+        assert table.schema.primary_key == ("id",)
+
+    def test_foreign_key_registered(self, db):
+        assert db.catalog.foreign_keys("orders")[0].ref_table == "customer"
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE orders")
+        assert not db.catalog.has_table("orders")
+
+    def test_create_view_and_drop_view(self, db):
+        db.execute("INSERT INTO customer (id, name) VALUES (1, 'ada')")
+        db.execute("CREATE VIEW names AS SELECT name FROM customer")
+        assert db.query("SELECT * FROM names").rows == [("ada",)]
+        db.execute("DROP VIEW names")
+        assert not db.catalog.has_view("names")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE customer (id INTEGER)")
+
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "INSERT INTO customer (id, name) VALUES (1, 'ada');"
+            "INSERT INTO customer (id, name) VALUES (2, 'bob');"
+            "SELECT COUNT(*) AS c FROM customer;"
+        )
+        assert results[-1].scalar() == 2
+
+
+class TestInsert:
+    def test_insert_full_rows(self, db):
+        result = db.execute("INSERT INTO customer VALUES (1, 'ada', 10.5), (2, 'bob', 0)")
+        assert result.rowcount == 2
+        assert db.table_rowcount("customer") == 2
+
+    def test_insert_with_column_list_uses_defaults(self, db):
+        db.execute("INSERT INTO customer (id, name) VALUES (1, 'ada')")
+        assert db.query("SELECT balance FROM customer").rows == [(0,)]
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10), (2, 'bob', 20)")
+        db.execute("INSERT INTO orders (id, cust) SELECT id + 100, id FROM customer")
+        assert db.table_rowcount("orders") == 2
+
+    def test_insert_not_null_violation(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO customer VALUES (1, NULL, 0)")
+
+    def test_insert_expression_values(self, db):
+        db.execute("INSERT INTO customer VALUES (1 + 1, UPPER('ada'), 2 * 5)")
+        assert db.query("SELECT id, name, balance FROM customer").rows == [(2, "ADA", 10)]
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10), (2, 'bob', 20)")
+        result = db.execute("UPDATE customer SET balance = balance * 2 WHERE id = 2")
+        assert result.rowcount == 1
+        assert db.query("SELECT balance FROM customer WHERE id = 2").scalar() == 40
+
+    def test_update_all_rows(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10), (2, 'bob', 20)")
+        assert db.execute("UPDATE customer SET balance = 0").rowcount == 2
+
+    def test_update_not_null_enforced(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE customer SET name = NULL")
+
+    def test_delete_with_where(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10), (2, 'bob', 20)")
+        assert db.execute("DELETE FROM customer WHERE balance < 15").rowcount == 1
+        assert db.table_rowcount("customer") == 1
+
+    def test_delete_all(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10)")
+        assert db.execute("DELETE FROM customer").rowcount == 1
+        assert db.table_rowcount("customer") == 0
+
+    def test_update_visible_to_subsequent_queries_with_key_lookup(self, db):
+        """Primary-key hash indexes must be invalidated by UPDATE (version bump)."""
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 10), (2, 'bob', 20)")
+        assert db.query("SELECT name FROM customer WHERE id = 2").rows == [("bob",)]
+        db.execute("UPDATE customer SET name = 'robert' WHERE id = 2")
+        assert db.query("SELECT name FROM customer WHERE id = 2").rows == [("robert",)]
+
+
+class TestIntegrityChecking:
+    def test_clean_database_has_no_violations(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 0)")
+        db.execute("INSERT INTO orders VALUES (10, 1)")
+        assert db.check_integrity() == []
+
+    def test_duplicate_primary_key_detected(self, db):
+        db.execute("INSERT INTO customer VALUES (1, 'ada', 0), (1, 'dup', 0)")
+        violations = db.check_integrity()
+        assert any("duplicate primary key" in violation for violation in violations)
+
+    def test_foreign_key_violation_detected(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 99)")
+        violations = db.check_integrity()
+        assert any("foreign key violation" in violation for violation in violations)

@@ -1,0 +1,303 @@
+"""Executor tests: scans, joins, aggregation, sub-queries, ordering, DISTINCT."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError
+from repro.sql.types import Date
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER NOT NULL, name VARCHAR(20) NOT NULL, dept INTEGER,"
+        " salary DECIMAL(10,2), hired DATE, CONSTRAINT pk PRIMARY KEY (id))"
+    )
+    database.execute(
+        "CREATE TABLE dept (id INTEGER NOT NULL, name VARCHAR(20) NOT NULL,"
+        " CONSTRAINT pk_d PRIMARY KEY (id))"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES"
+        " (1, 'ada', 10, 1000, DATE '2001-01-15'),"
+        " (2, 'bob', 10, 2000, DATE '2003-06-01'),"
+        " (3, 'cyd', 20, 3000, DATE '2002-03-10'),"
+        " (4, 'dan', 20, 4000, DATE '2004-12-31'),"
+        " (5, 'eve', NULL, NULL, NULL)"
+    )
+    database.execute("INSERT INTO dept VALUES (10, 'sales'), (20, 'tech'), (30, 'empty')")
+    return database
+
+
+class TestProjectionAndFilters:
+    def test_simple_projection(self, db):
+        result = db.query("SELECT name, salary FROM emp WHERE salary >= 2000 ORDER BY salary")
+        assert result.rows == [("bob", 2000), ("cyd", 3000), ("dan", 4000)]
+        assert result.columns == ["name", "salary"]
+
+    def test_star_expansion(self, db):
+        result = db.query("SELECT * FROM dept ORDER BY id")
+        assert result.columns == ["id", "name"]
+        assert len(result.rows) == 3
+
+    def test_expressions_and_aliases(self, db):
+        result = db.query("SELECT name, salary * 1.1 AS raised FROM emp WHERE id = 1")
+        assert result.columns == ["name", "raised"]
+        assert result.rows[0][1] == pytest.approx(1100)
+
+    def test_null_predicate_filters_row_out(self, db):
+        result = db.query("SELECT name FROM emp WHERE salary > 0")
+        assert "eve" not in [row[0] for row in result.rows]
+
+    def test_is_null(self, db):
+        assert db.query("SELECT name FROM emp WHERE salary IS NULL").rows == [("eve",)]
+        assert len(db.query("SELECT name FROM emp WHERE salary IS NOT NULL").rows) == 4
+
+    def test_between_and_in(self, db):
+        result = db.query("SELECT name FROM emp WHERE salary BETWEEN 2000 AND 3000 ORDER BY name")
+        assert result.rows == [("bob",), ("cyd",)]
+        result = db.query("SELECT name FROM emp WHERE dept IN (20) ORDER BY name")
+        assert result.rows == [("cyd",), ("dan",)]
+
+    def test_like(self, db):
+        assert db.query("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY name").rows == [
+            ("ada",), ("dan",)
+        ]
+        assert db.query("SELECT name FROM emp WHERE name LIKE '_o_'").rows == [("bob",)]
+
+    def test_case_expression(self, db):
+        result = db.query(
+            "SELECT name, CASE WHEN salary >= 3000 THEN 'high' WHEN salary >= 2000 THEN 'mid'"
+            " ELSE 'low' END AS band FROM emp WHERE id <= 4 ORDER BY id"
+        )
+        assert [row[1] for row in result.rows] == ["low", "mid", "high", "high"]
+
+    def test_date_comparison_and_arithmetic(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE hired < DATE '2003-01-01' + INTERVAL '6' MONTH ORDER BY name"
+        )
+        assert result.rows == [("ada",), ("bob",), ("cyd",)]
+        earlier = db.query(
+            "SELECT name FROM emp WHERE hired < DATE '2003-01-01' - INTERVAL '6' MONTH ORDER BY name"
+        )
+        assert earlier.rows == [("ada",), ("cyd",)]
+
+    def test_extract_year(self, db):
+        result = db.query("SELECT name, EXTRACT(YEAR FROM hired) AS y FROM emp WHERE id = 2")
+        assert result.rows == [("bob", 2003)]
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 1 + 2 AS three").rows == [(3,)]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT id FROM emp ORDER BY id LIMIT 2").rows) == 2
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT missing FROM emp")
+
+    def test_unknown_table_raises(self, db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            db.query("SELECT 1 FROM missing")
+
+
+class TestJoins:
+    def test_inner_join_comma_syntax(self, db):
+        result = db.query(
+            "SELECT emp.name, dept.name FROM emp, dept WHERE emp.dept = dept.id ORDER BY emp.name"
+        )
+        assert result.rows == [("ada", "sales"), ("bob", "sales"), ("cyd", "tech"), ("dan", "tech")]
+
+    def test_explicit_inner_join(self, db):
+        result = db.query("SELECT COUNT(*) AS c FROM emp JOIN dept ON emp.dept = dept.id")
+        assert result.scalar() == 4
+
+    def test_left_join_keeps_unmatched(self, db):
+        result = db.query(
+            "SELECT dept.name, COUNT(emp.id) AS staff FROM dept LEFT JOIN emp ON emp.dept = dept.id "
+            "GROUP BY dept.name ORDER BY dept.name"
+        )
+        assert result.rows == [("empty", 0), ("sales", 2), ("tech", 2)]
+
+    def test_self_join_with_aliases(self, db):
+        result = db.query(
+            "SELECT a.name, b.name FROM emp a, emp b "
+            "WHERE a.dept = b.dept AND a.salary < b.salary ORDER BY a.name"
+        )
+        assert result.rows == [("ada", "bob"), ("cyd", "dan")]
+
+    def test_cross_join_count(self, db):
+        assert db.query("SELECT COUNT(*) AS c FROM emp, dept").scalar() == 15
+
+    def test_non_equi_join_predicate(self, db):
+        result = db.query(
+            "SELECT COUNT(*) AS c FROM emp a, emp b WHERE a.salary > b.salary"
+        )
+        assert result.scalar() == 6
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE loc (dept_id INTEGER, city VARCHAR(10))")
+        db.execute("INSERT INTO loc VALUES (10, 'zurich'), (20, 'basel')")
+        result = db.query(
+            "SELECT emp.name, loc.city FROM emp, dept, loc "
+            "WHERE emp.dept = dept.id AND dept.id = loc.dept_id AND emp.salary > 2500 ORDER BY emp.name"
+        )
+        assert result.rows == [("cyd", "basel"), ("dan", "basel")]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        result = db.query(
+            "SELECT COUNT(*) AS c, COUNT(salary) AS cs, SUM(salary) AS s, AVG(salary) AS a,"
+            " MIN(salary) AS lo, MAX(salary) AS hi FROM emp"
+        )
+        count_all, count_salary, total, average, low, high = result.rows[0]
+        assert (count_all, count_salary, total, low, high) == (5, 4, 10000, 1000, 4000)
+        assert average == pytest.approx(2500)
+
+    def test_group_by_with_having(self, db):
+        result = db.query(
+            "SELECT dept, COUNT(*) AS c, SUM(salary) AS s FROM emp WHERE dept IS NOT NULL "
+            "GROUP BY dept HAVING SUM(salary) > 3500 ORDER BY dept"
+        )
+        assert result.rows == [(20, 2, 7000)]
+
+    def test_group_by_expression(self, db):
+        result = db.query(
+            "SELECT EXTRACT(YEAR FROM hired) AS y, COUNT(*) AS c FROM emp "
+            "WHERE hired IS NOT NULL GROUP BY EXTRACT(YEAR FROM hired) ORDER BY y"
+        )
+        assert result.rows == [(2001, 1), (2002, 1), (2003, 1), (2004, 1)]
+
+    def test_aggregate_over_empty_input(self, db):
+        result = db.query("SELECT COUNT(*) AS c, SUM(salary) AS s FROM emp WHERE id > 100")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_empty_input_yields_no_groups(self, db):
+        result = db.query("SELECT dept, COUNT(*) AS c FROM emp WHERE id > 100 GROUP BY dept")
+        assert result.rows == []
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT COUNT(DISTINCT dept) AS d FROM emp").scalar() == 2
+
+    def test_order_by_aggregate_alias(self, db):
+        result = db.query(
+            "SELECT dept, SUM(salary) AS total FROM emp WHERE dept IS NOT NULL "
+            "GROUP BY dept ORDER BY total DESC"
+        )
+        assert result.rows[0][0] == 20
+
+    def test_aggregate_expression_combination(self, db):
+        result = db.query(
+            "SELECT SUM(salary) / COUNT(salary) AS manual_avg, AVG(salary) AS built_in FROM emp"
+        )
+        manual, built_in = result.rows[0]
+        assert manual == pytest.approx(built_in)
+
+    def test_having_without_group_by_on_global_aggregate(self, db):
+        result = db.query("SELECT COUNT(*) AS c FROM emp HAVING COUNT(*) > 100")
+        assert result.rows == []
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY name"
+        )
+        assert result.rows == [("cyd",), ("dan",)]
+
+    def test_in_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE dept IN (SELECT id FROM dept WHERE name = 'tech') ORDER BY name"
+        )
+        assert result.rows == [("cyd",), ("dan",)]
+
+    def test_not_in_subquery(self, db):
+        result = db.query(
+            "SELECT dept.name FROM dept WHERE id NOT IN (SELECT dept FROM emp WHERE dept IS NOT NULL)"
+        )
+        assert result.rows == [("empty",)]
+
+    def test_correlated_exists(self, db):
+        result = db.query(
+            "SELECT dept.name FROM dept WHERE EXISTS "
+            "(SELECT 1 FROM emp WHERE emp.dept = dept.id AND emp.salary > 2500) ORDER BY dept.name"
+        )
+        assert result.rows == [("tech",)]
+
+    def test_correlated_not_exists(self, db):
+        result = db.query(
+            "SELECT dept.name FROM dept WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp WHERE emp.dept = dept.id)"
+        )
+        assert result.rows == [("empty",)]
+
+    def test_correlated_scalar_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM emp e WHERE salary = "
+            "(SELECT MAX(salary) FROM emp i WHERE i.dept = e.dept) ORDER BY name"
+        )
+        assert result.rows == [("bob",), ("dan",)]
+
+    def test_derived_table(self, db):
+        result = db.query(
+            "SELECT d, total FROM (SELECT dept AS d, SUM(salary) AS total FROM emp "
+            "WHERE dept IS NOT NULL GROUP BY dept) AS sums ORDER BY total DESC"
+        )
+        assert result.rows == [(20, 7000), (10, 3000)]
+
+    def test_nested_derived_tables(self, db):
+        result = db.query(
+            "SELECT MAX(total) AS best FROM (SELECT dept AS d, SUM(salary) AS total FROM emp "
+            "WHERE dept IS NOT NULL GROUP BY dept) AS sums"
+        )
+        assert result.scalar() == 7000
+
+    def test_uncorrelated_subquery_cached(self, db):
+        db.reset_stats()
+        db.query("SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp)")
+        # the scalar sub-query runs once, not once per row
+        assert db.stats.subquery_runs <= 3
+
+
+class TestDistinctAndOrdering:
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL ORDER BY dept")
+        assert result.rows == [(10,), (20,)]
+
+    def test_order_by_multiple_keys_mixed_direction(self, db):
+        result = db.query("SELECT dept, name FROM emp WHERE dept IS NOT NULL ORDER BY dept DESC, name")
+        assert result.rows == [(20, "cyd"), (20, "dan"), (10, "ada"), (10, "bob")]
+
+    def test_order_by_nulls_first(self, db):
+        result = db.query("SELECT salary FROM emp ORDER BY salary")
+        assert result.rows[0] == (None,)
+
+    def test_order_by_select_alias(self, db):
+        result = db.query("SELECT name, salary * 2 AS double_pay FROM emp WHERE id <= 2 ORDER BY double_pay DESC")
+        assert result.rows[0][0] == "bob"
+
+
+class TestViews:
+    def test_view_executes_like_a_table(self, db):
+        db.execute("CREATE VIEW rich AS SELECT name, salary FROM emp WHERE salary >= 3000")
+        result = db.query("SELECT COUNT(*) AS c FROM rich")
+        assert result.scalar() == 2
+
+    def test_view_joins_with_tables(self, db):
+        db.execute("CREATE VIEW techies AS SELECT id, name, dept FROM emp WHERE dept = 20")
+        result = db.query(
+            "SELECT techies.name, dept.name FROM techies, dept WHERE techies.dept = dept.id ORDER BY techies.name"
+        )
+        assert result.rows == [("cyd", "tech"), ("dan", "tech")]
+
+    def test_query_result_helpers(self, db):
+        result = db.query("SELECT id, name FROM emp ORDER BY id LIMIT 2")
+        assert result.column_values("name") == ["ada", "bob"]
+        assert result.as_dicts()[0] == {"id": 1, "name": "ada"}
+        assert result.first() == (1, "ada")
+        with pytest.raises(ExecutionError):
+            result.column_index("nope")

@@ -1,0 +1,112 @@
+"""Deployment of the MT-H conversion infrastructure (meta tables, UDFs, pairs)."""
+
+import pytest
+
+from repro.core import MTBase, distributes_over, verify_conversion_pair
+from repro.mth.conversions import (
+    currency_for_tenant,
+    deploy_conversions,
+    phone_format_for_tenant,
+)
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    middleware = MTBase()
+    tenants = list(range(1, 9))
+    pairs = deploy_conversions(middleware, tenants)
+    return middleware, tenants, pairs
+
+
+class TestDeployment:
+    def test_meta_tables_created_and_populated(self, deployed):
+        middleware, tenants, _ = deployed
+        database = middleware.database
+        assert database.table_rowcount("Tenant") == len(tenants)
+        assert database.table_rowcount("CurrencyTransform") > 0
+        assert database.table_rowcount("PhoneTransform") > 0
+
+    def test_tenant_rows_match_assignment(self, deployed):
+        middleware, tenants, _ = deployed
+        rows = middleware.database.query(
+            "SELECT T_tenant_key, T_currency_key, T_phone_prefix_key FROM Tenant ORDER BY T_tenant_key"
+        ).rows
+        for ttid, currency_key, phone_key in rows:
+            assert currency_key == currency_for_tenant(ttid).key
+            assert phone_key == phone_format_for_tenant(ttid).key
+
+    def test_conversion_pairs_registered(self, deployed):
+        middleware, _, pairs = deployed
+        assert middleware.conversions.has("currency")
+        assert middleware.conversions.has("phone")
+        assert pairs["currency"].constant_factor
+        assert not pairs["phone"].order_preserving
+
+    def test_table_2_distributability_of_the_mth_pairs(self, deployed):
+        _, _, pairs = deployed
+        currency, phone = pairs["currency"], pairs["phone"]
+        # "the pair for currency format distributes over all standard SQL
+        #  aggregation functions ... the pair for phone format does not"
+        for aggregate in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            assert distributes_over(aggregate, currency)
+        assert distributes_over("COUNT", phone)
+        for aggregate in ("SUM", "AVG", "MIN", "MAX"):
+            assert not distributes_over(aggregate, phone)
+
+
+class TestSqlUdfSemantics:
+    """Definition 1 checked on the deployed SQL-bodied UDFs themselves."""
+
+    def call(self, middleware):
+        context = middleware.database.executor.context
+        return lambda name, args: context.call_function(name, list(args))
+
+    def test_currency_pair_satisfies_definition_1(self, deployed):
+        middleware, tenants, pairs = deployed
+        violations = verify_conversion_pair(
+            self.call(middleware), pairs["currency"], tenants=tenants[:5],
+            samples=[0.0, 1.0, 1234.56, -99.5],
+        )
+        assert violations == []
+
+    def test_currency_udf_matches_python_rates(self, deployed):
+        middleware, tenants, _ = deployed
+        call = self.call(middleware)
+        for ttid in tenants:
+            rate = currency_for_tenant(ttid).to_universal
+            assert call("currencyToUniversal", [100.0, ttid]) == pytest.approx(100.0 * rate)
+            round_trip = call(
+                "currencyFromUniversal", [call("currencyToUniversal", [250.0, ttid]), ttid]
+            )
+            assert round_trip == pytest.approx(250.0, rel=1e-9)
+
+    def test_phone_udf_strips_and_prepends_prefix(self, deployed):
+        middleware, tenants, _ = deployed
+        call = self.call(middleware)
+        for ttid in tenants:
+            prefix = phone_format_for_tenant(ttid).prefix
+            local = prefix + "13-555-111-2222"
+            assert call("phoneToUniversal", [local, ttid]) == "13-555-111-2222"
+            assert call("phoneFromUniversal", ["13-555-111-2222", ttid]) == local
+
+    def test_rate_lookup_helpers_agree_with_udfs(self, deployed):
+        middleware, tenants, _ = deployed
+        call = self.call(middleware)
+        for ttid in tenants[:4]:
+            assert call("mt_currency_rate_to_universal", [ttid]) == pytest.approx(
+                currency_for_tenant(ttid).to_universal
+            )
+            assert call("mt_phone_prefix", [ttid]) == phone_format_for_tenant(ttid).prefix
+
+    def test_inline_expressions_evaluate_like_the_udfs(self, deployed):
+        """The o4 inline form and the SQL UDF form must agree value by value."""
+        middleware, tenants, pairs = deployed
+        database = middleware.database
+        for ttid in tenants[:4]:
+            udf = database.query(
+                f"SELECT currencyToUniversal(123.45, {ttid}) AS v"
+            ).scalar()
+            inline = database.query(
+                f"SELECT 123.45 * mt_currency_rate_to_universal({ttid}) AS v"
+            ).scalar()
+            assert udf == pytest.approx(inline, rel=1e-9)

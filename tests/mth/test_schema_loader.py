@@ -1,0 +1,164 @@
+"""MT-H schema annotations and the loader (multi-tenant + baseline databases)."""
+
+import pytest
+
+from repro.mth import (
+    GLOBAL_TABLES,
+    MT_DDL,
+    TENANT_SPECIFIC_TABLES,
+    TTID_COLUMNS,
+    currency_for_tenant,
+)
+from repro.mth.loader import CONVERTIBLE_COLUMNS
+from repro.mth.schema import CREATION_ORDER, plain_ddl
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+class TestSchemaDefinitions:
+    def test_table_partitioning_matches_the_paper(self):
+        assert set(GLOBAL_TABLES) == {"region", "nation", "supplier", "part", "partsupp"}
+        assert set(TENANT_SPECIFIC_TABLES) == {"customer", "orders", "lineitem"}
+
+    @pytest.mark.parametrize("table", CREATION_ORDER)
+    def test_mt_ddl_parses(self, table):
+        statement = parse_statement(MT_DDL[table])
+        assert isinstance(statement, ast.CreateTable)
+        expected = (
+            ast.TableGenerality.SPECIFIC
+            if table in TENANT_SPECIFIC_TABLES
+            else ast.TableGenerality.GLOBAL
+        )
+        assert statement.generality is expected
+
+    @pytest.mark.parametrize("table", CREATION_ORDER)
+    def test_plain_ddl_parses_without_mt_keywords(self, table):
+        statement = parse_statement(plain_ddl(table))
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.generality is None
+        for column in statement.columns:
+            assert column.comparability is None
+
+    def test_convertible_attributes_match_section_5(self):
+        customer = parse_statement(MT_DDL["customer"])
+        convertible = {
+            column.name.lower(): column.to_universal
+            for column in customer.columns
+            if column.comparability is ast.Comparability.CONVERTIBLE
+        }
+        assert convertible == {
+            "c_phone": "phoneToUniversal",
+            "c_acctbal": "currencyToUniversal",
+        }
+        lineitem = parse_statement(MT_DDL["lineitem"])
+        convertible_lineitem = [
+            column.name.lower()
+            for column in lineitem.columns
+            if column.comparability is ast.Comparability.CONVERTIBLE
+        ]
+        assert convertible_lineitem == ["l_extendedprice"]
+
+    def test_tenant_specific_keys(self):
+        orders = parse_statement(MT_DDL["orders"])
+        specific = [
+            column.name.lower()
+            for column in orders.columns
+            if column.comparability is ast.Comparability.SPECIFIC
+        ]
+        assert specific == ["o_orderkey", "o_custkey"]
+
+    def test_convertible_column_positions_match_generated_layout(self):
+        # the loader converts by position; make sure positions match the DDL
+        customer = parse_statement(MT_DDL["customer"])
+        names = [column.name.lower() for column in customer.columns]
+        assert names[CONVERTIBLE_COLUMNS["customer"]["currency"][0]] == "c_acctbal"
+        assert names[CONVERTIBLE_COLUMNS["customer"]["phone"][0]] == "c_phone"
+        orders = parse_statement(MT_DDL["orders"])
+        assert [c.name.lower() for c in orders.columns][
+            CONVERTIBLE_COLUMNS["orders"]["currency"][0]
+        ] == "o_totalprice"
+        lineitem = parse_statement(MT_DDL["lineitem"])
+        assert [c.name.lower() for c in lineitem.columns][
+            CONVERTIBLE_COLUMNS["lineitem"]["currency"][0]
+        ] == "l_extendedprice"
+
+
+class TestLoadedInstance:
+    def test_tenant_specific_tables_have_ttid_columns(self, tiny_mth):
+        catalog = tiny_mth.database.catalog
+        for table in TENANT_SPECIFIC_TABLES:
+            assert catalog.table(table).schema.column_names[0] == TTID_COLUMNS[table]
+        for table in GLOBAL_TABLES:
+            assert "ttid" not in [c.lower() for c in catalog.table(table).schema.column_names]
+
+    def test_all_rows_loaded(self, tiny_mth, tiny_tpch_data):
+        for table in CREATION_ORDER:
+            assert tiny_mth.database.table_rowcount(table) == len(tiny_tpch_data.table(table))
+
+    def test_orders_follow_their_customer_tenant(self, tiny_mth):
+        mismatches = tiny_mth.database.query(
+            "SELECT COUNT(*) AS c FROM customer, orders "
+            "WHERE c_custkey = o_custkey AND c_ttid <> o_ttid"
+        ).scalar()
+        assert mismatches == 0
+
+    def test_lineitems_follow_their_order_tenant(self, tiny_mth):
+        mismatches = tiny_mth.database.query(
+            "SELECT COUNT(*) AS c FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey AND o_ttid <> l_ttid"
+        ).scalar()
+        assert mismatches == 0
+
+    def test_every_tenant_owns_customers(self, tiny_mth):
+        counts = tiny_mth.database.query(
+            "SELECT c_ttid, COUNT(*) AS c FROM customer GROUP BY c_ttid"
+        ).rows
+        assert len(counts) == tiny_mth.tenants
+        assert all(count > 0 for _, count in counts)
+
+    def test_monetary_values_stored_in_owner_currency(self, tiny_mth, tiny_tpch_data):
+        # tenant 1 keeps universal values; other tenants store converted values
+        stored = {
+            row[0]: row[1]
+            for row in tiny_mth.database.query(
+                "SELECT o_orderkey, o_totalprice FROM orders"
+            ).rows
+        }
+        owners = {
+            row[0]: row[1]
+            for row in tiny_mth.database.query("SELECT o_orderkey, o_ttid FROM orders").rows
+        }
+        for orderkey, custkey, _, totalprice, *_ in tiny_tpch_data.orders[:50]:
+            ttid = owners[orderkey]
+            expected = totalprice * currency_for_tenant(ttid).from_universal
+            assert stored[orderkey] == pytest.approx(expected, rel=1e-3)
+
+    def test_referential_integrity_of_loaded_database(self, tiny_mth):
+        assert tiny_mth.database.check_integrity() == []
+
+    def test_baseline_holds_same_data_in_universal_format(self, tiny_baseline, tiny_tpch_data):
+        assert tiny_baseline.table_rowcount("lineitem") == len(tiny_tpch_data.lineitem)
+        total = tiny_baseline.query("SELECT SUM(o_totalprice) AS s FROM orders").scalar()
+        expected = sum(order[3] for order in tiny_tpch_data.orders)
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_meta_tables_deployed(self, tiny_mth):
+        catalog = tiny_mth.database.catalog
+        for table in ("Tenant", "CurrencyTransform", "PhoneTransform"):
+            assert catalog.has_table(table)
+        for function in (
+            "currencyToUniversal",
+            "currencyFromUniversal",
+            "phoneToUniversal",
+            "phoneFromUniversal",
+            "mt_currency_rate_to_universal",
+            "mt_phone_prefix",
+        ):
+            assert catalog.has_function(function)
+
+    def test_cross_tenant_read_granted(self, tiny_mth):
+        connection = tiny_mth.middleware.connect(1)
+        connection.set_scope("IN ()")
+        assert connection.dataset() == tuple(range(1, tiny_mth.tenants + 1))
+        count = connection.query("SELECT COUNT(*) AS c FROM customer").scalar()
+        assert count == tiny_mth.database.table_rowcount("customer")

@@ -1,0 +1,100 @@
+"""AST transformation helpers used by the executor and the rewriter."""
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_query
+from repro.sql.printer import to_sql
+from repro.sql.transform import clone_select, transform_expression, transform_select
+
+
+def rename_column(old: str, new: str):
+    def replacer(node: ast.Expression):
+        if isinstance(node, ast.Column) and node.name == old:
+            return ast.Column(name=new, table=node.table)
+        return None
+
+    return replacer
+
+
+class TestTransformExpression:
+    def test_identity_returns_equal_tree(self):
+        expr = parse_expression("a + b * 2")
+        assert to_sql(transform_expression(expr, lambda node: None)) == to_sql(expr)
+
+    def test_replacement_is_used_verbatim(self):
+        expr = parse_expression("a + b")
+        replaced = transform_expression(expr, rename_column("a", "x"))
+        assert to_sql(replaced) == "x + b"
+
+    def test_replacement_not_recursed_into(self):
+        """A returned subtree is taken as-is, even if it matches the pattern again."""
+        expr = parse_expression("a")
+        replaced = transform_expression(
+            expr,
+            lambda node: ast.BinaryOp("+", ast.Column("a"), ast.lit(1))
+            if isinstance(node, ast.Column) and node.name == "a"
+            else None,
+        )
+        assert to_sql(replaced) == "a + 1"
+
+    def test_nested_constructs_are_visited(self):
+        expr = parse_expression(
+            "CASE WHEN a = 1 THEN b ELSE c END + COALESCE(a, b) + (a BETWEEN 1 AND 2)"
+        )
+        replaced = transform_expression(expr, rename_column("a", "z"))
+        text = to_sql(replaced)
+        assert "z = 1" in text and "COALESCE(z, b)" in text and "z BETWEEN" in text
+
+    def test_subqueries_untouched_by_default(self):
+        expr = parse_expression("a IN (SELECT a FROM t)")
+        replaced = transform_expression(expr, rename_column("a", "z"))
+        assert to_sql(replaced) == "z IN (SELECT a FROM t)"
+
+    def test_subqueries_descended_when_requested(self):
+        expr = parse_expression("a IN (SELECT a FROM t)")
+        replaced = transform_expression(expr, rename_column("a", "z"), descend_subqueries=True)
+        assert to_sql(replaced) == "z IN (SELECT z FROM t)"
+
+    def test_none_passthrough(self):
+        assert transform_expression(None, lambda node: None) is None
+
+    def test_like_isnull_substring_extract(self):
+        expr = parse_expression(
+            "SUBSTRING(a FROM 1 FOR 2) || CASE WHEN a IS NULL THEN 'x' ELSE 'y' END"
+        )
+        replaced = transform_expression(expr, rename_column("a", "b"))
+        assert "SUBSTRING(b" in to_sql(replaced)
+
+
+class TestTransformSelect:
+    def test_all_clauses_transformed(self):
+        query = parse_query(
+            "SELECT a, SUM(a) AS s FROM t WHERE a > 1 GROUP BY a HAVING SUM(a) > 2 ORDER BY a"
+        )
+        transformed = transform_select(query, rename_column("a", "z"))
+        text = to_sql(transformed)
+        assert "z" in text and " a" not in text.replace("AS s", "")
+
+    def test_from_subqueries_transformed(self):
+        query = parse_query("SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) AS sub")
+        transformed = transform_select(query, rename_column("a", "z"))
+        assert "z AS x" in to_sql(transformed)
+        assert "z > 0" in to_sql(transformed)
+
+    def test_join_condition_transformed(self):
+        query = parse_query("SELECT * FROM t1 LEFT JOIN t2 ON t1.a = t2.a")
+        transformed = transform_select(query, rename_column("a", "z"))
+        assert "t1.z = t2.z" in to_sql(transformed)
+
+    def test_clone_is_independent(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1")
+        clone = clone_select(query)
+        clone.items.append(ast.SelectItem(expr=ast.Column("b"), alias=None))
+        clone.where = None
+        assert len(query.items) == 1
+        assert query.where is not None
+
+    def test_original_not_mutated_by_transform(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1")
+        before = to_sql(query)
+        transform_select(query, rename_column("a", "z"))
+        assert to_sql(query) == before

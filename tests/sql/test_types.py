@@ -1,0 +1,137 @@
+"""Unit and property tests for the SQL value model (dates, intervals, NULLs)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.sql.types import (
+    Date,
+    Interval,
+    IntervalUnit,
+    SQLType,
+    add_date_interval,
+    format_value,
+    sort_key,
+    sql_compare,
+    sql_equal,
+)
+
+
+class TestSQLType:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", SQLType.INTEGER),
+            ("int", SQLType.INTEGER),
+            ("BIGINT", SQLType.INTEGER),
+            ("DECIMAL(15,2)", SQLType.DECIMAL),
+            ("VARCHAR(25)", SQLType.VARCHAR),
+            ("varchar", SQLType.VARCHAR),
+            ("DATE", SQLType.DATE),
+            ("BOOLEAN", SQLType.BOOLEAN),
+        ],
+    )
+    def test_from_name(self, name, expected):
+        assert SQLType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            SQLType.from_name("GEOMETRY")
+
+
+class TestDates:
+    def test_from_string_round_trip(self):
+        date = Date.from_string("1998-12-01")
+        assert str(date) == "1998-12-01"
+        assert (date.year, date.month, date.day) == (1998, 12, 1)
+
+    def test_ordering_follows_calendar(self):
+        assert Date.from_string("1995-03-15") < Date.from_string("1995-03-16")
+        assert Date.from_string("1996-01-01") > Date.from_string("1995-12-31")
+
+    def test_add_days(self):
+        assert Date.from_string("1998-12-01").add_days(-90) == Date.from_string("1998-09-02")
+
+    def test_add_months_clamps_day(self):
+        assert Date.from_ymd(1996, 1, 31).add_months(1) == Date.from_ymd(1996, 2, 29)
+        assert Date.from_ymd(1995, 1, 31).add_months(1) == Date.from_ymd(1995, 2, 28)
+
+    def test_add_months_year_wrap(self):
+        assert Date.from_ymd(1994, 11, 15).add_months(3) == Date.from_ymd(1995, 2, 15)
+
+    @given(st.integers(min_value=0, max_value=20000), st.integers(min_value=-500, max_value=500))
+    def test_add_days_is_invertible(self, days, delta):
+        date = Date(days)
+        assert date.add_days(delta).add_days(-delta) == date
+
+    @given(st.integers(min_value=0, max_value=20000), st.integers(min_value=0, max_value=48))
+    def test_add_months_monotone(self, days, months):
+        date = Date(days)
+        assert date.add_months(months) >= date
+
+
+class TestIntervals:
+    def test_interval_day_addition(self):
+        result = add_date_interval(Date.from_string("1994-01-01"), Interval(90, IntervalUnit.DAY))
+        assert result == Date.from_string("1994-04-01")
+
+    def test_interval_month_and_year(self):
+        start = Date.from_string("1993-07-01")
+        assert add_date_interval(start, Interval(3, IntervalUnit.MONTH)) == Date.from_string("1993-10-01")
+        assert add_date_interval(start, Interval(1, IntervalUnit.YEAR)) == Date.from_string("1994-07-01")
+
+    def test_interval_subtraction(self):
+        result = add_date_interval(Date.from_string("1998-12-01"), Interval(90, IntervalUnit.DAY), -1)
+        assert result == Date.from_string("1998-09-02")
+
+    def test_day_interval_has_no_months(self):
+        with pytest.raises(TypeMismatchError):
+            Interval(3, IntervalUnit.DAY).months()
+
+
+class TestThreeValuedLogic:
+    def test_equal_with_null_is_null(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal(1, None) is None
+
+    def test_equal_numeric_coercion(self):
+        assert sql_equal(1, 1.0) is True
+        assert sql_equal(2, 3) is False
+
+    def test_compare_with_null_is_null(self):
+        assert sql_compare(None, 5) is None
+
+    def test_compare_orders(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare("b", "a") == 1
+        assert sql_compare(3.0, 3) == 0
+
+    def test_date_compares_with_date_string(self):
+        assert sql_compare(Date.from_string("1994-01-01"), "1994-06-01") == -1
+
+    def test_date_number_comparison_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare(Date.from_string("1994-01-01"), 12)
+
+    def test_string_number_comparison_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare("abc", 1)
+
+    @given(st.integers() | st.floats(allow_nan=False, allow_infinity=False))
+    def test_equality_is_reflexive(self, value):
+        assert sql_equal(value, value) is True
+
+
+class TestSortKeyAndFormatting:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key)[0] is None
+
+    def test_mixed_types_sortable(self):
+        values = [None, 2, Date.from_string("1994-01-01"), "abc", 1.5]
+        assert sorted(values, key=sort_key)  # does not raise
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(1.5) == "1.50"
+        assert format_value("x") == "x"
