@@ -1,0 +1,100 @@
+"""Ablation: the gateway's rewrite cache — cold vs. warm-path latency.
+
+The rewrite-overhead ablation (`test_ablation_rewrite_overhead.py`) measures
+what every statement pays for parse + canonical rewrite + optimization.  The
+gateway amortizes exactly that cost: a warm cache execution skips the whole
+pipeline and goes straight to the DBMS.  This module checks both acceptance
+criteria:
+
+* gateway results are **identical** to direct :class:`MTConnection` results
+  for the full MT-H query set (cold and warm), and
+* warm-cache per-statement latency is measurably below the cold path at O4.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.workload import WorkloadConfig, load_workload
+from repro.mth.queries import ALL_QUERY_IDS, query_text
+
+#: the rewrite-heavy representative mix used for the latency comparison
+QUERY_IDS = (1, 3, 6, 22)
+
+COLD_ROUNDS = 3
+WARM_ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload(WorkloadConfig.scenario1())
+
+
+@pytest.fixture(scope="module")
+def gateway(workload):
+    return workload.gateway(cache_size=512)
+
+
+@pytest.mark.parametrize("query_id", ALL_QUERY_IDS)
+def test_gateway_results_match_direct_connection(workload, gateway, query_id):
+    """Cold pass, warm pass and the direct connection agree exactly (Q1-Q22)."""
+    session = gateway.session(1, optimization="o4", scope="IN ()")
+    direct = workload.connection(client=1, optimization="o4", dataset="all")
+    text = query_text(query_id)
+    cold = session.query(text)
+    warm = session.query(text)
+    reference = direct.query(text)
+    assert cold.columns == warm.columns == reference.columns
+    assert cold.rows == warm.rows == reference.rows
+
+
+def test_warm_cache_latency_below_cold_path_at_o4(workload, gateway):
+    """Per-statement latency: warm (cache hit) < cold (parse + rewrite + run).
+
+    Minima over several rounds cancel scheduler noise; the gap is the
+    pipeline cost the cache saves, which at O4 is far above timer noise.
+    """
+    session = gateway.session(1, optimization="o4", scope="IN ()")
+    cold_total = 0.0
+    warm_total = 0.0
+    for query_id in QUERY_IDS:
+        text = query_text(query_id)
+        cold_samples = []
+        for _ in range(COLD_ROUNDS):
+            gateway.invalidate_cache(reason="bench-cold")
+            began = time.perf_counter()
+            session.query(text)
+            cold_samples.append(time.perf_counter() - began)
+        warm_samples = []
+        for _ in range(WARM_ROUNDS):
+            began = time.perf_counter()
+            session.query(text)
+            warm_samples.append(time.perf_counter() - began)
+        cold_total += min(cold_samples)
+        warm_total += min(warm_samples)
+    assert warm_total < cold_total, (
+        f"warm cache ({warm_total * 1e3:.2f}ms) should beat the cold path "
+        f"({cold_total * 1e3:.2f}ms) over queries {QUERY_IDS}"
+    )
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_cold_path(benchmark, workload, gateway, query_id):
+    """Benchmark table: full pipeline per statement (cache flushed each run)."""
+    session = gateway.session(1, optimization="o4", scope="IN ()")
+    text = query_text(query_id)
+
+    def cold():
+        gateway.invalidate_cache(reason="bench-cold")
+        session.query(text)
+
+    benchmark.pedantic(cold, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_warm_path(benchmark, workload, gateway, query_id):
+    """Benchmark table: cache-hit execution of the same statements."""
+    session = gateway.session(1, optimization="o4", scope="IN ()")
+    text = query_text(query_id)
+    session.query(text)  # prime
+    benchmark.pedantic(lambda: session.query(text), rounds=1, iterations=1, warmup_rounds=0)

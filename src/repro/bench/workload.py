@@ -20,6 +20,8 @@ from typing import Optional
 
 from ..core.middleware import MTBase
 from ..engine.database import Database
+from ..errors import ConfigurationError
+from ..gateway import GatewaySession, QueryGateway
 from ..mth.dbgen import TPCHData, generate
 from ..mth.loader import MTHInstance, load_mth, load_tpch_baseline
 
@@ -29,7 +31,13 @@ def env_scale_factor(default: float) -> float:
     value = os.environ.get("REPRO_BENCH_SF")
     if not value:
         return default
-    return float(value)
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"the REPRO_BENCH_SF environment variable must be a number "
+            f"(a TPC-H scale factor such as 0.002), got {value!r}"
+        ) from exc
 
 
 @dataclass
@@ -71,6 +79,7 @@ class Workload:
     data: TPCHData
     mth: MTHInstance
     baseline: Database
+    _gateway: Optional[QueryGateway] = field(default=None, repr=False, compare=False)
 
     @property
     def middleware(self) -> MTBase:
@@ -85,6 +94,31 @@ class Workload:
         connection = self.middleware.connect(client, optimization=optimization)
         connection.set_scope("IN ()" if dataset == "all" else dataset)
         return connection
+
+    def gateway(self, cache_size: Optional[int] = None) -> QueryGateway:
+        """The (lazily created, shared) query gateway over this workload.
+
+        ``cache_size=None`` reuses whatever gateway exists (creating one with
+        the default capacity if none does); an explicit size that differs
+        from the cached gateway's capacity replaces it (the old one keeps
+        serving its existing sessions).
+        """
+        if self._gateway is None:
+            self._gateway = self.middleware.gateway(
+                cache_size=cache_size if cache_size is not None else 256
+            )
+        elif cache_size is not None and self._gateway.cache.capacity != cache_size:
+            self._gateway.close()  # detach its metadata listener before replacing
+            self._gateway = self.middleware.gateway(cache_size=cache_size)
+        return self._gateway
+
+    def gateway_session(
+        self, client: int = 1, optimization: str = "o4", dataset: str = "all"
+    ) -> GatewaySession:
+        """Like :meth:`connection`, but served through the query gateway."""
+        return self.gateway().session(
+            client, optimization=optimization, scope="IN ()" if dataset == "all" else dataset
+        )
 
     def reset_caches(self) -> None:
         """Clear UDF result caches and statistics before a timed run."""

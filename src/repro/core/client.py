@@ -44,6 +44,12 @@ class MTConnection:
         #: the most recently executed rewritten statement(s), for inspection
         self.last_rewritten: list[ast.Statement] = []
 
+    def __repr__(self) -> str:
+        return (
+            f"MTConnection(client={self.client}, scope={self.scope.describe()!r}, "
+            f"optimization={self.optimization.value})"
+        )
+
     # -- scope handling -----------------------------------------------------------
 
     def set_scope(self, scope: Union[str, Scope]) -> None:
@@ -116,6 +122,15 @@ class MTConnection:
         """Rewrite a query and return the SQL text sent to the DBMS."""
         return to_sql(self.rewrite(statement))
 
+    def rewrite_resolved(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
+        """Rewrite a query for an already-resolved (and pruned) data set D'.
+
+        This is the cacheable tail of the pipeline: the gateway resolves D'
+        per execution (it is part of the cache key) and only pays this step
+        on a cache miss.
+        """
+        return self._rewrite_query(query, dataset)
+
     # -- internals ----------------------------------------------------------------------
 
     def _execute_query(self, query: ast.Select) -> QueryResult:
@@ -146,11 +161,15 @@ class MTConnection:
             all_tenants=all_tenants,
         )
 
-    def _pruned_dataset(
-        self, statement: ast.Statement, privilege: str = "READ"
+    def prune_dataset(
+        self,
+        dataset: tuple[int, ...],
+        tables: Union[list[str], tuple[str, ...]],
+        privilege: str = "READ",
     ) -> tuple[int, ...]:
-        dataset = self.dataset()
-        tables = sorted(self._tenant_specific_tables(statement))
+        """Prune D to D' for the given tables, enforcing the §2.3 rule that a
+        statement over a non-empty D must keep at least one accessible tenant."""
+        tables = sorted(tables)
         pruned = self.middleware.privileges.prune_dataset(
             self.client, dataset, tables, privilege=privilege
         )
@@ -160,6 +179,17 @@ class MTConnection:
                 f"{sorted(dataset)} for tables {tables}"
             )
         return pruned
+
+    def _pruned_dataset(
+        self, statement: ast.Statement, privilege: str = "READ"
+    ) -> tuple[int, ...]:
+        return self.prune_dataset(
+            self.dataset(), self.statement_tables(statement), privilege=privilege
+        )
+
+    def statement_tables(self, statement: ast.Statement) -> set[str]:
+        """Public alias of the privilege-pruning table walk (used by the gateway)."""
+        return self._tenant_specific_tables(statement)
 
     def _tenant_specific_tables(self, statement: ast.Statement) -> set[str]:
         """All tenant-specific base tables a statement touches (for privilege pruning)."""
@@ -218,6 +248,7 @@ class MTConnection:
                 dataset=dataset,
             )
             self.last_rewritten = []
+            self.middleware.notify_metadata_change("privilege")
             return StatementResult("GRANT")
         self.middleware.privileges.revoke(
             owner=self.client,
@@ -227,6 +258,7 @@ class MTConnection:
             dataset=dataset,
         )
         self.last_rewritten = []
+        self.middleware.notify_metadata_change("privilege")
         return StatementResult("REVOKE")
 
     # -- DML --------------------------------------------------------------------------
@@ -296,4 +328,5 @@ class MTConnection:
         rewritten = self._rewrite_query(statement.query, dataset)
         self.last_rewritten = [rewritten]
         self.middleware.database.execute(ast.CreateView(name=statement.name, query=rewritten))
+        self.middleware.notify_metadata_change("ddl")
         return StatementResult("CREATE VIEW")

@@ -16,8 +16,9 @@ in-memory engine of :mod:`repro.engine`).  It
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ..engine.database import Database
 from ..errors import MTSQLError
@@ -44,12 +45,47 @@ class MTBase:
         self.conversions = ConversionRegistry()
         self.privileges = PrivilegeManager()
         self.default_optimization = default_optimization
+        #: bumped on every metadata change; cached rewrites are stale across bumps
+        self.metadata_version = 0
+        self._metadata_listeners: list[Callable[[str], None]] = []
+        self._metadata_lock = threading.Lock()
+
+    # -- metadata-change signal ---------------------------------------------------
+    #
+    # The MTSQL→SQL rewrite of a statement depends on middleware metadata:
+    # the MT schema (DDL), privileges (GRANT/REVOKE), the tenant population
+    # (the "D = all tenants" trivial optimization) and the conversion
+    # registry.  Layers that cache rewrites (:mod:`repro.gateway`) subscribe
+    # here and flush whenever any of those change.
+
+    def on_metadata_change(self, listener: Callable[[str], None]) -> Callable[[str], None]:
+        """Register ``listener(reason)`` to run after every metadata change."""
+        with self._metadata_lock:
+            self._metadata_listeners.append(listener)
+        return listener
+
+    def remove_metadata_listener(self, listener: Callable[[str], None]) -> None:
+        with self._metadata_lock:
+            if listener in self._metadata_listeners:
+                self._metadata_listeners.remove(listener)
+
+    def notify_metadata_change(self, reason: str) -> None:
+        # the increment must not lose updates: a cache's stale-put guard
+        # (RewriteCache) compares version snapshots, and two concurrent
+        # changes collapsing into one bump would let a stale plan slip in
+        with self._metadata_lock:
+            self.metadata_version += 1
+            listeners = list(self._metadata_listeners)
+        for listener in listeners:
+            listener(reason)
 
     # -- tenants ---------------------------------------------------------------
 
     def register_tenant(self, ttid: int, name: str = "", **metadata) -> None:
         """Make a tenant known to the middleware (and grant the §2.3 defaults)."""
         self.privileges.register_tenant(ttid, name=name, **metadata)
+        # a new tenant can turn an "all tenants" data set into a partial one
+        self.notify_metadata_change("tenant")
 
     def tenants(self) -> tuple[int, ...]:
         return tuple(self.privileges.tenants())
@@ -66,11 +102,14 @@ class MTBase:
         targets = tables or tuple(table.name for table in self.schema.tenant_specific_tables())
         for table in targets:
             self.privileges.grant_public(table, privileges)
+        self.notify_metadata_change("privilege")
 
     # -- conversion functions -----------------------------------------------------
 
     def register_conversion_pair(self, pair: ConversionPair) -> ConversionPair:
-        return self.conversions.register(pair)
+        registered = self.conversions.register(pair)
+        self.notify_metadata_change("conversion")
+        return registered
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -84,14 +123,16 @@ class MTBase:
             statement = parse_statement(statement)
         if isinstance(statement, ast.CreateTable):
             return self.create_table(statement, ttid_column=ttid_column)
-        if isinstance(statement, ast.CreateFunction):
-            return self.database.execute(statement)
-        if isinstance(statement, ast.CreateView):
-            return self.database.execute(statement)
+        if isinstance(statement, (ast.CreateFunction, ast.CreateView)):
+            result = self.database.execute(statement)
+            self.notify_metadata_change("ddl")
+            return result
         if isinstance(statement, (ast.DropTable, ast.DropView)):
             if isinstance(statement, ast.DropTable):
                 self.schema.drop_table(statement.name)
-            return self.database.execute(statement)
+            result = self.database.execute(statement)
+            self.notify_metadata_change("ddl")
+            return result
         raise MTSQLError(f"not an MTSQL DDL statement: {type(statement).__name__}")
 
     def create_table(
@@ -137,6 +178,7 @@ class MTBase:
             generality=None,
         )
         self.database.execute(physical)
+        self.notify_metadata_change("ddl")
         return info
 
     def _physical_constraint(
@@ -175,3 +217,9 @@ class MTBase:
         else:
             level = OptimizationLevel.from_name(optimization)
         return MTConnection(self, ttid, level)
+
+    def gateway(self, cache_size: int = 256, max_workers: Optional[int] = None):
+        """Open a :class:`repro.gateway.QueryGateway` serving layer over this instance."""
+        from ..gateway import QueryGateway  # local import: gateway depends on core
+
+        return QueryGateway(self, cache_size=cache_size, max_workers=max_workers)

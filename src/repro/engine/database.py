@@ -12,6 +12,7 @@ behaviours relevant to the evaluation:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
@@ -72,6 +73,11 @@ class Database:
         self.catalog = Catalog()
         self.stats = ExecutionStats()
         self.executor = Executor(self)
+        # Serializes writers (DML is read-copy-replace on table.rows, DDL
+        # mutates the catalog) so concurrent gateway sessions cannot lose
+        # updates.  Readers stay lock-free: they see the old or the new rows
+        # list, never a torn one.
+        self._write_lock = threading.RLock()
 
     # -- statement execution --------------------------------------------------
 
@@ -79,37 +85,45 @@ class Database:
         """Execute one statement (SQL text or an already-parsed AST node)."""
         if isinstance(statement, str):
             statement = parse_statement(statement)
-        self.stats.statements += 1
+        self.stats.add(statements=1)
         if isinstance(statement, ast.Select):
             return self.executor.execute(statement)
         if isinstance(statement, ast.CreateTable):
-            execute_create_table(self.catalog, statement)
-            self.executor.invalidate()
+            with self._write_lock:
+                execute_create_table(self.catalog, statement)
+                self.executor.invalidate()
             return StatementResult("CREATE TABLE")
         if isinstance(statement, ast.CreateView):
-            execute_create_view(self.catalog, statement)
-            self.executor.invalidate()
+            with self._write_lock:
+                execute_create_view(self.catalog, statement)
+                self.executor.invalidate()
             return StatementResult("CREATE VIEW")
         if isinstance(statement, ast.CreateFunction):
-            execute_create_function(self.catalog, statement)
-            self.executor.invalidate()
+            with self._write_lock:
+                execute_create_function(self.catalog, statement)
+                self.executor.invalidate()
             return StatementResult("CREATE FUNCTION")
         if isinstance(statement, ast.DropTable):
-            execute_drop_table(self.catalog, statement)
-            self.executor.invalidate()
+            with self._write_lock:
+                execute_drop_table(self.catalog, statement)
+                self.executor.invalidate()
             return StatementResult("DROP TABLE")
         if isinstance(statement, ast.DropView):
-            execute_drop_view(self.catalog, statement)
-            self.executor.invalidate()
+            with self._write_lock:
+                execute_drop_view(self.catalog, statement)
+                self.executor.invalidate()
             return StatementResult("DROP VIEW")
         if isinstance(statement, ast.Insert):
-            count = execute_insert(self.executor.context, statement)
+            with self._write_lock:
+                count = execute_insert(self.executor.context, statement)
             return StatementResult("INSERT", rowcount=count)
         if isinstance(statement, ast.Update):
-            count = execute_update(self.executor.context, statement)
+            with self._write_lock:
+                count = execute_update(self.executor.context, statement)
             return StatementResult("UPDATE", rowcount=count)
         if isinstance(statement, ast.Delete):
-            count = execute_delete(self.executor.context, statement)
+            with self._write_lock:
+                count = execute_delete(self.executor.context, statement)
             return StatementResult("DELETE", rowcount=count)
         raise ExecutionError(
             f"statement type {type(statement).__name__} is not executable by the engine"

@@ -11,6 +11,7 @@ statement, not one per row.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -72,20 +73,43 @@ class ValueSet:
 
 @dataclass
 class ExecutionStats:
-    """Statement-level counters surfaced to tests and the benchmark harness."""
+    """Statement-level counters surfaced to tests and the benchmark harness.
+
+    Counters are incremented through :meth:`add` so that concurrent sessions
+    (the gateway runs many threads against one database) do not lose updates
+    to read-modify-write races.
+    """
 
     udf_calls: int = 0
     udf_executions: int = 0
     udf_cache_hits: int = 0
     subquery_runs: int = 0
     statements: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, **counts: int) -> None:
+        """Atomically add to one or more counters."""
+        with self._lock:
+            for name, amount in counts.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def add_udf_call(self, executed: int) -> None:
+        """Hot-path variant of :meth:`add` for the per-UDF-call counters
+        (one lock acquisition, no kwargs/getattr overhead)."""
+        with self._lock:
+            self.udf_calls += 1
+            self.udf_executions += executed
+            self.udf_cache_hits += 1 - executed
 
     def reset(self) -> None:
-        self.udf_calls = 0
-        self.udf_executions = 0
-        self.udf_cache_hits = 0
-        self.subquery_runs = 0
-        self.statements = 0
+        with self._lock:
+            self.udf_calls = 0
+            self.udf_executions = 0
+            self.udf_cache_hits = 0
+            self.subquery_runs = 0
+            self.statements = 0
 
 
 class ExecutionContext:
@@ -102,14 +126,10 @@ class ExecutionContext:
         stats = self.database.stats
         if catalog.has_function(name):
             function = catalog.function(name)
-            stats.udf_calls += 1
-            before = function.stats.executions
-            value = function.invoke(
+            value, executed = function.invoke(
                 args, self, use_cache=self.database.profile.cache_immutable_functions
             )
-            executed = function.stats.executions - before
-            stats.udf_executions += executed
-            stats.udf_cache_hits += 1 - executed
+            stats.add_udf_call(executed)
             return value
         builtin = BUILTIN_SCALARS.get(name.lower())
         if builtin is not None:
@@ -358,7 +378,7 @@ class PreparedSelect:
         return value_set
 
     def _run_uncached(self, outers: tuple) -> list[tuple]:
-        self._context.database.stats.subquery_runs += 1
+        self._context.database.stats.add(subquery_runs=1)
         rows = self._pipeline.execute(outers)
         if self._post_filters:
             filters = self._post_filters
@@ -442,6 +462,7 @@ class Executor:
         self.database = database
         self.context = ExecutionContext(database, self)
         self._function_body_plans: dict[str, PreparedSelect] = {}
+        self._plans_lock = threading.Lock()
 
     def execute(self, select: ast.Select) -> QueryResult:
         prepared = self.prepare(select, None)
@@ -452,15 +473,21 @@ class Executor:
         return PreparedSelect(self, select, parent_scope)
 
     def function_body_plan(self, function: Function, arg_count: int) -> PreparedSelect:
+        # lock-free fast path (dict reads are atomic under the GIL), locked
+        # slow path so concurrent sessions agree on one shared plan
         plan = self._function_body_plans.get(function.name.lower())
         if plan is None:
-            parameter_scope = Scope(
-                [(None, f"${position + 1}") for position in range(arg_count)]
-            )
-            plan = self.prepare(function.body, parameter_scope)
-            self._function_body_plans[function.name.lower()] = plan
+            with self._plans_lock:
+                plan = self._function_body_plans.get(function.name.lower())
+                if plan is None:
+                    parameter_scope = Scope(
+                        [(None, f"${position + 1}") for position in range(arg_count)]
+                    )
+                    plan = self.prepare(function.body, parameter_scope)
+                    self._function_body_plans[function.name.lower()] = plan
         return plan
 
     def invalidate(self) -> None:
         """Drop cached plans after DDL changes the catalog."""
-        self._function_body_plans.clear()
+        with self._plans_lock:
+            self._function_body_plans.clear()

@@ -19,6 +19,7 @@ appendix experiments of the paper.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -50,35 +51,50 @@ class Function:
         self.immutable = immutable
         self.stats = FunctionStats()
         self._cache: dict[tuple, Any] = {}
+        # memo cache and stats are shared across the gateway's worker threads
+        self._lock = threading.Lock()
 
-    def invoke(self, args: Sequence[Any], context, use_cache: bool) -> Any:
-        """Call the function, optionally memoizing immutable results."""
-        self.stats.calls += 1
+    def invoke(self, args: Sequence[Any], context, use_cache: bool) -> tuple[Any, int]:
+        """Call the function, optionally memoizing immutable results.
+
+        Returns ``(value, executed)`` where ``executed`` is 1 when the body
+        actually ran and 0 on a memo hit, so the caller can account cache
+        hits without re-reading (racy under concurrency) stats counters.
+        The body runs outside the lock: two threads missing the same key do
+        the work twice, but never corrupt the cache or block each other.
+        """
+        key: tuple | None = None
         if use_cache and self.immutable:
             try:
                 key = tuple(args)
-                hashable = True
             except TypeError:  # pragma: no cover - defensive
-                hashable = False
-            if hashable:
+                key = None
+        if key is not None:
+            with self._lock:
+                self.stats.calls += 1
                 if key in self._cache:
                     self.stats.cache_hits += 1
-                    return self._cache[key]
-                value = self._execute(args, context)
+                    return self._cache[key], 0
+            value = self._execute(args, context)
+            with self._lock:
                 self.stats.executions += 1
                 self._cache[key] = value
-                return value
-        self.stats.executions += 1
-        return self._execute(args, context)
+            return value, 1
+        with self._lock:
+            self.stats.calls += 1
+            self.stats.executions += 1
+        return self._execute(args, context), 1
 
     def _execute(self, args: Sequence[Any], context) -> Any:
         raise NotImplementedError
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def reset_stats(self) -> None:
-        self.stats = FunctionStats()
+        with self._lock:
+            self.stats = FunctionStats()
 
 
 class PythonFunction(Function):

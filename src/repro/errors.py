@@ -52,6 +52,10 @@ class FunctionError(ExecutionError):
     """Raised when a scalar or aggregate function is misused or fails."""
 
 
+class ConfigurationError(ReproError):
+    """Raised when an environment/configuration value cannot be interpreted."""
+
+
 class MTSQLError(ReproError):
     """Base class for errors raised by the MTSQL middleware layer."""
 

@@ -1,0 +1,47 @@
+"""repro.gateway — a caching, concurrent multi-tenant query gateway.
+
+The serving layer on top of the paper's middleware (Figure 4): statement
+fingerprinting, a rewrite cache with LRU eviction and metadata-driven
+invalidation, per-tenant sessions with a prepared-statement API, and a
+thread-pool executor for concurrent tenant traffic.
+
+Typical use::
+
+    from repro.gateway import QueryGateway
+
+    gateway = QueryGateway(middleware, cache_size=512)
+    session = gateway.session(ttid=1, optimization="o4", scope="IN ()")
+    handle = session.prepare("SELECT ... FROM ...")
+    result = session.execute(handle)          # cold: parse + rewrite + run
+    result = session.execute(handle)          # warm: cache hit, run only
+    print(gateway.cache_stats.hit_rate)
+"""
+
+from .cache import CacheKey, CachedPlan, CacheStats, RewriteCache, StatementInfo
+from .executor import ConcurrentExecutor, ExecutionReport, SessionBatch, StatementOutcome
+from .fingerprint import Fingerprint, fingerprint_statement
+from .gateway import QueryGateway
+from .metrics import LatencyRecorder, LatencySummary, percentile, summarize
+from .session import GatewaySession, PreparedStatement, SessionStats
+
+__all__ = [
+    "QueryGateway",
+    "GatewaySession",
+    "PreparedStatement",
+    "SessionStats",
+    "ConcurrentExecutor",
+    "ExecutionReport",
+    "SessionBatch",
+    "StatementOutcome",
+    "RewriteCache",
+    "CacheKey",
+    "CachedPlan",
+    "CacheStats",
+    "StatementInfo",
+    "Fingerprint",
+    "fingerprint_statement",
+    "LatencyRecorder",
+    "LatencySummary",
+    "percentile",
+    "summarize",
+]

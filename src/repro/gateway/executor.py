@@ -1,0 +1,130 @@
+"""Concurrent batch execution across many gateway sessions.
+
+The :class:`ConcurrentExecutor` dispatches per-session statement batches over
+a thread pool.  Concurrency is *between* sessions: each session's batch runs
+on one worker, in order (and the session's own lock serializes any outside
+use of the same session), which mirrors how a fleet of single-threaded
+tenant connections hits a real middleware.
+
+The pure-Python engine holds the GIL while interpreting, so threads buy
+concurrency (overlapping sessions, fair progress), not CPU parallelism —
+the aggregate numbers in :class:`ExecutionReport` are about serving
+behaviour, and about how far the rewrite cache drops per-statement latency.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .metrics import LatencyRecorder, LatencySummary, summarize
+from .session import GatewaySession
+
+#: one unit of work: a session plus the statements it should run, in order
+SessionBatch = tuple[GatewaySession, Sequence[Union[str, int]]]
+
+
+@dataclass
+class StatementOutcome:
+    """Result (or error) of one statement of one session's batch."""
+
+    session_id: int
+    statement: Union[str, int]
+    result: object = None
+    error: Optional[Exception] = None
+    latency: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate metrics of one concurrent run."""
+
+    outcomes: list[StatementOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+    latency: LatencySummary = field(default_factory=lambda: summarize([]))
+
+    @property
+    def statements(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> list[StatementOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def throughput(self) -> float:
+        """Completed statements per second of wall-clock time."""
+        return self.statements / self.elapsed if self.elapsed > 0 else 0.0
+
+    def outcomes_for(self, session: GatewaySession) -> list[StatementOutcome]:
+        return [o for o in self.outcomes if o.session_id == session.session_id]
+
+    def describe(self) -> str:
+        return (
+            f"{self.statements} statements in {self.elapsed:.3f}s "
+            f"({self.throughput:.1f} stmt/s; {self.latency.describe()}; "
+            f"{len(self.errors)} errors)"
+        )
+
+
+class ConcurrentExecutor:
+    """Run batches of session statements over a thread pool."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def run(self, batches: Sequence[SessionBatch]) -> ExecutionReport:
+        """Execute every batch; per-session order is preserved.
+
+        Statement failures are captured per outcome (``error``), they do not
+        abort the run — a misbehaving tenant must not take down the fleet.
+        """
+        if not batches:
+            return ExecutionReport()
+        recorder = LatencyRecorder()
+        workers = self.max_workers or min(8, len(batches))
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._run_batch, session, list(statements), recorder)
+                for session, statements in batches
+            ]
+            outcome_lists = [future.result() for future in futures]
+        elapsed = time.perf_counter() - started
+        outcomes = [outcome for outcomes in outcome_lists for outcome in outcomes]
+        return ExecutionReport(
+            outcomes=outcomes, elapsed=elapsed, latency=summarize(recorder.values())
+        )
+
+    @staticmethod
+    def _run_batch(
+        session: GatewaySession,
+        statements: list[Union[str, int]],
+        recorder: LatencyRecorder,
+    ) -> list[StatementOutcome]:
+        outcomes: list[StatementOutcome] = []
+        for statement in statements:
+            began = time.perf_counter()
+            try:
+                result = session.execute(statement)
+                error = None
+            except Exception as exc:  # noqa: BLE001 - reported per statement
+                result, error = None, exc
+            latency = time.perf_counter() - began
+            recorder.record(latency)
+            outcomes.append(
+                StatementOutcome(
+                    session_id=session.session_id,
+                    statement=statement,
+                    result=result,
+                    error=error,
+                    latency=latency,
+                )
+            )
+        return outcomes

@@ -1,0 +1,121 @@
+"""The query gateway: caching, concurrent serving in front of MTBase.
+
+:class:`QueryGateway` is the traffic-facing entry point the ROADMAP's
+"millions of users" north star asks for.  It owns
+
+* one shared :class:`~repro.gateway.cache.RewriteCache` (statement info +
+  rewritten plans) for all sessions,
+* the per-tenant :class:`~repro.gateway.session.GatewaySession` objects,
+* a :class:`~repro.gateway.executor.ConcurrentExecutor` for batch traffic.
+
+The gateway subscribes to the middleware's metadata-change signal, so any
+DDL, GRANT/REVOKE, tenant registration or conversion-pair registration
+flushes the cache before the next statement can observe a stale rewrite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence, Union
+
+from ..core.middleware import MTBase
+from ..core.optimizer.levels import OptimizationLevel
+from .cache import CacheStats, RewriteCache
+from .executor import ConcurrentExecutor, ExecutionReport, SessionBatch
+from .session import GatewaySession
+
+
+class QueryGateway:
+    """A multi-tenant serving layer wrapping one :class:`MTBase` instance."""
+
+    def __init__(
+        self,
+        middleware: MTBase,
+        cache_size: int = 256,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.middleware = middleware
+        self.cache = RewriteCache(
+            capacity=cache_size,
+            version_source=lambda: middleware.metadata_version,
+        )
+        self.executor = ConcurrentExecutor(max_workers=max_workers)
+        self._sessions: list[GatewaySession] = []
+        self._next_session_id = 1
+        self._lock = threading.Lock()
+        self._listener = middleware.on_metadata_change(self._on_metadata_change)
+        self._closed = False
+
+    # -- sessions -----------------------------------------------------------------
+
+    def session(
+        self,
+        ttid: int,
+        optimization: Optional[Union[str, OptimizationLevel]] = None,
+        scope=None,
+    ) -> GatewaySession:
+        """Open a serving session for tenant ``ttid``."""
+        connection = self.middleware.connect(ttid, optimization=optimization)
+        if scope is not None:
+            connection.set_scope(scope)
+        with self._lock:
+            session = GatewaySession(self, connection, self._next_session_id)
+            self._next_session_id += 1
+            self._sessions.append(session)
+            return session
+
+    @property
+    def sessions(self) -> list[GatewaySession]:
+        with self._lock:
+            return list(self._sessions)
+
+    def release(self, session: GatewaySession) -> None:
+        """Forget a session (long-running gateways would otherwise accumulate
+        one session object per connect forever); idempotent."""
+        with self._lock:
+            if session in self._sessions:
+                self._sessions.remove(session)
+
+    # -- batch execution ----------------------------------------------------------
+
+    def run_concurrent(self, batches: Sequence[SessionBatch]) -> ExecutionReport:
+        """Dispatch per-session statement batches over the thread pool."""
+        return self.executor.run(batches)
+
+    # -- cache maintenance ---------------------------------------------------------
+
+    def _on_metadata_change(self, reason: str) -> None:
+        self.cache.invalidate(reason=reason)
+
+    def invalidate_cache(self, reason: str = "manual") -> int:
+        return self.cache.invalidate(reason=reason)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats_snapshot()
+
+    def close(self) -> None:
+        """Detach from the middleware and disable the cache.
+
+        A detached cache would no longer see invalidations, so it is flushed
+        and disabled: sessions still held by callers keep working, they just
+        pay the cold path from here on.
+        """
+        if not self._closed:
+            self.middleware.remove_metadata_listener(self._listener)
+            self.cache.disable()
+            self._closed = True
+
+    def __enter__(self) -> "QueryGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self.cache.stats
+        return (
+            f"QueryGateway(sessions={len(self._sessions)}, cache={len(self.cache)}/"
+            f"{self.cache.capacity}, hit_rate={stats.hit_rate:.1%}, "
+            f"invalidations={stats.invalidations})"
+        )

@@ -1,0 +1,89 @@
+"""Latency/throughput accounting for the gateway's concurrent executor.
+
+A :class:`LatencyRecorder` collects per-statement wall-clock durations from
+many worker threads; :func:`summarize` condenses them into the aggregate the
+reports print (mean / p50 / p95 / max and total statement count).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate view of a latency sample (all values in seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def describe(self, unit_scale: float = 1e3, unit: str = "ms") -> str:
+        return (
+            f"{self.count} statements, mean {self.mean * unit_scale:.2f}{unit}, "
+            f"p50 {self.p50 * unit_scale:.2f}{unit}, p95 {self.p95 * unit_scale:.2f}{unit}, "
+            f"max {self.max * unit_scale:.2f}{unit}"
+        )
+
+
+def summarize(latencies: list[float]) -> LatencySummary:
+    if not latencies:
+        return LatencySummary(count=0, total=0.0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+    ordered = sorted(latencies)
+    total = sum(ordered)
+    return LatencySummary(
+        count=len(ordered),
+        total=total,
+        mean=total / len(ordered),
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        max=ordered[-1],
+    )
+
+
+class LatencyRecorder:
+    """Thread-safe collector of per-statement latencies."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def extend(self, seconds: list[float]) -> None:
+        with self._lock:
+            self._latencies.extend(seconds)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._latencies)
+
+    def summary(self) -> LatencySummary:
+        return summarize(self.values())

@@ -1,0 +1,194 @@
+"""Per-tenant gateway sessions with a prepared-statement API.
+
+A :class:`GatewaySession` wraps an :class:`~repro.core.client.MTConnection`
+and routes SELECT statements through the gateway's rewrite cache:
+
+* **cold path** — fingerprint, parse, resolve the scope to ``D`` and prune it
+  to ``D'``, run the canonical rewrite + optimization passes, cache the
+  result, execute (exactly the connection's own pipeline, so results are
+  byte-identical),
+* **warm path** — fingerprint (a lex), resolve ``D'`` from the cached table
+  list, fetch the rewritten AST and execute.  Parse and rewrite are skipped
+  entirely.
+
+Scope resolution and privilege pruning are **never** cached: ``D'`` is
+recomputed per execution and is part of the cache key, so a session that
+changes its scope (or loses a privilege) can never be served a stale plan.
+
+Non-SELECT statements (DML, DDL, GRANT/REVOKE, SET SCOPE) are delegated to
+the underlying connection unchanged; DDL and DCL trigger the middleware's
+metadata-change signal, which flushes the cache.
+
+Each session serializes its own statements with a lock (the paper's client
+connections are single-threaded too); *different* sessions execute
+concurrently — see :mod:`repro.gateway.executor`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..engine.executor import QueryResult
+from ..errors import MTSQLError
+from ..sql import ast
+from ..sql.parser import parse_statement
+from .cache import CacheKey, StatementInfo
+from .fingerprint import Fingerprint, fingerprint_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.client import MTConnection
+    from ..core.scope import Scope
+    from .gateway import QueryGateway
+
+
+@dataclass(frozen=True)
+class PreparedStatement:
+    """A client-side statement handle: raw text plus its fingerprint."""
+
+    handle: int
+    text: str
+    fingerprint: Fingerprint
+
+
+@dataclass
+class SessionStats:
+    """Per-session execution counters."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    delegated: int = 0
+
+
+class GatewaySession:
+    """One tenant's serving session: an MTConnection behind the rewrite cache."""
+
+    def __init__(self, gateway: "QueryGateway", connection: "MTConnection", session_id: int) -> None:
+        self.gateway = gateway
+        self.connection = connection
+        self.session_id = session_id
+        self.stats = SessionStats()
+        self._prepared: dict[int, PreparedStatement] = {}
+        self._next_handle = 1
+        self._lock = threading.RLock()
+
+    # -- connection surface -----------------------------------------------------
+
+    @property
+    def client(self) -> int:
+        return self.connection.client
+
+    @property
+    def scope(self) -> "Scope":
+        return self.connection.scope
+
+    def set_scope(self, scope) -> None:
+        with self._lock:
+            self.connection.set_scope(scope)
+
+    def reset_scope(self) -> None:
+        with self._lock:
+            self.connection.reset_scope()
+
+    # -- prepared statements ----------------------------------------------------
+
+    def prepare(self, sql: str) -> int:
+        """Parse ``sql`` once and return a handle for repeated execution."""
+        with self._lock:
+            fingerprint = fingerprint_statement(sql)
+            self._statement_info(sql, fingerprint)  # parse eagerly, fail fast
+            handle = self._next_handle
+            self._next_handle += 1
+            self._prepared[handle] = PreparedStatement(
+                handle=handle, text=sql, fingerprint=fingerprint
+            )
+            return handle
+
+    def close_prepared(self, handle: int) -> None:
+        with self._lock:
+            self._prepared.pop(handle, None)
+
+    def close(self) -> None:
+        """Release the session: drop prepared statements and detach from the gateway."""
+        with self._lock:
+            self._prepared.clear()
+        self.gateway.release(self)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, statement: Union[str, int], scope=None):
+        """Execute one MTSQL statement (text or a prepared handle).
+
+        ``scope`` optionally switches the session scope first, atomically with
+        the execution (convenient for multi-scope workloads).
+        """
+        with self._lock:
+            if scope is not None:
+                self.connection.set_scope(scope)
+            if isinstance(statement, int):
+                try:
+                    prepared = self._prepared[statement]
+                except KeyError as exc:
+                    raise MTSQLError(f"unknown prepared-statement handle {statement}") from exc
+                text, fingerprint = prepared.text, prepared.fingerprint
+            else:
+                text, fingerprint = statement, fingerprint_statement(statement)
+            info = self._statement_info(text, fingerprint)
+            if isinstance(info.statement, ast.Select):
+                return self._execute_select(info)
+            # non-SELECT: the connection pipeline handles DML/DDL/DCL/SET SCOPE
+            self.stats.delegated += 1
+            self.stats.executed += 1
+            return self.connection.execute(info.statement)
+
+    def query(self, statement: Union[str, int], scope=None) -> QueryResult:
+        result = self.execute(statement, scope=scope)
+        if not isinstance(result, QueryResult):
+            raise MTSQLError("query() expects a SELECT statement")
+        return result
+
+    # -- internals ----------------------------------------------------------------
+
+    def _statement_info(self, text: str, fingerprint: Fingerprint) -> StatementInfo:
+        cache = self.gateway.cache
+        info = cache.get_info(fingerprint.digest)
+        if info is None:
+            version = cache.current_version()  # snapshot before reading the schema
+            parsed = parse_statement(text)
+            tables = tuple(sorted(self.connection.statement_tables(parsed)))
+            info = StatementInfo(statement=parsed, tables=tables, fingerprint=fingerprint)
+            cache.put_info(fingerprint.digest, info, version=version)
+        return info
+
+    def _execute_select(self, info: StatementInfo) -> QueryResult:
+        connection = self.connection
+        dataset = connection.dataset()
+        pruned = connection.prune_dataset(dataset, info.tables, privilege="READ")
+        key = CacheKey(
+            digest=info.fingerprint.digest,
+            client=connection.client,
+            dataset=pruned,
+            level=connection.optimization,
+        )
+        cache = self.gateway.cache
+        plan = cache.get(key)
+        if plan is None:
+            version = cache.current_version()  # snapshot before reading metadata
+            rewritten = connection.rewrite_resolved(info.statement, pruned)
+            plan = cache.put(key, rewritten, version=version)
+            self.stats.cache_misses += 1
+        else:
+            self.stats.cache_hits += 1
+        self.stats.executed += 1
+        connection.last_rewritten = [plan.rewritten]
+        return connection.middleware.database.execute(plan.rewritten)
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewaySession(id={self.session_id}, client={self.client}, "
+            f"scope={self.scope.describe()!r}, "
+            f"optimization={self.connection.optimization.value}, "
+            f"executed={self.stats.executed}, hits={self.stats.cache_hits})"
+        )

@@ -1,0 +1,185 @@
+"""RewriteCache behaviour: LRU eviction, statistics, invalidation signals."""
+
+import pytest
+
+from repro.core.optimizer.levels import OptimizationLevel
+from repro.gateway import CacheKey, RewriteCache, fingerprint_statement
+from repro.sql.parser import parse_statement
+
+from tests.conftest import build_paper_example
+
+
+def make_key(n: int, dataset=(0, 1)) -> CacheKey:
+    return CacheKey(
+        digest=f"digest-{n}", client=0, dataset=tuple(dataset), level=OptimizationLevel.O4
+    )
+
+
+def dummy_plan():
+    return parse_statement("SELECT 1 FROM Employees")
+
+
+class TestLRU:
+    def test_capacity_bound_and_eviction_order(self):
+        cache = RewriteCache(capacity=2)
+        cache.put(make_key(1), dummy_plan())
+        cache.put(make_key(2), dummy_plan())
+        cache.put(make_key(3), dummy_plan())
+        assert len(cache) == 2
+        assert cache.get(make_key(1)) is None  # oldest evicted
+        assert cache.get(make_key(2)) is not None
+        assert cache.get(make_key(3)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = RewriteCache(capacity=2)
+        cache.put(make_key(1), dummy_plan())
+        cache.put(make_key(2), dummy_plan())
+        assert cache.get(make_key(1)) is not None  # 1 becomes most recent
+        cache.put(make_key(3), dummy_plan())
+        assert cache.get(make_key(1)) is not None
+        assert cache.get(make_key(2)) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RewriteCache(capacity=0)
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = RewriteCache(capacity=4)
+        key = make_key(1)
+        assert cache.get(key) is None
+        cache.put(key, dummy_plan())
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_key_includes_dataset_and_level(self):
+        cache = RewriteCache(capacity=8)
+        cache.put(make_key(1, dataset=(0, 1)), dummy_plan())
+        assert cache.get(make_key(1, dataset=(0,))) is None
+        other_level = CacheKey(
+            digest="digest-1", client=0, dataset=(0, 1), level=OptimizationLevel.O1
+        )
+        assert cache.get(other_level) is None
+
+    def test_invalidate_clears_and_records_reason(self):
+        cache = RewriteCache(capacity=4)
+        cache.put(make_key(1), dummy_plan())
+        dropped = cache.invalidate(reason="ddl")
+        assert dropped == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.stats.invalidation_reasons == {"ddl": 1}
+
+    def test_stale_version_put_is_rejected(self):
+        """Closes the put-after-invalidate race: an entry computed from
+        pre-change metadata must not be cached past the flush."""
+        version = {"value": 0}
+        cache = RewriteCache(capacity=4, version_source=lambda: version["value"])
+        snapshot = cache.current_version()
+        version["value"] += 1  # metadata changed while the rewrite was running
+        plan = cache.put(make_key(1), dummy_plan(), version=snapshot)
+        assert plan.rewritten is not None  # caller can still execute it once
+        assert len(cache) == 0
+        cache.put_info("d", object(), version=snapshot)
+        assert cache.get_info("d") is None
+        # a put computed after the change is cached normally
+        cache.put(make_key(1), dummy_plan(), version=cache.current_version())
+        assert len(cache) == 1
+
+
+class TestMetadataInvalidation:
+    """The gateway flushes on every middleware metadata change."""
+
+    @pytest.fixture
+    def served(self):
+        mt = build_paper_example()
+        gateway = mt.gateway(cache_size=32)
+        session = gateway.session(0, optimization="o4", scope="IN (0, 1)")
+        session.query("SELECT E_name FROM Employees ORDER BY E_name")
+        assert len(gateway.cache) == 1
+        return mt, gateway, session
+
+    def test_create_table_flushes(self, served):
+        mt, gateway, _ = served
+        mt.execute_ddl("CREATE TABLE Scratch GLOBAL (S_id INTEGER NOT NULL)")
+        assert len(gateway.cache) == 0
+        assert gateway.cache_stats.invalidation_reasons.get("ddl") == 1
+
+    def test_drop_table_flushes(self, served):
+        mt, gateway, _ = served
+        mt.execute_ddl("CREATE TABLE Scratch GLOBAL (S_id INTEGER NOT NULL)")
+        before = gateway.cache_stats.invalidations
+        mt.execute_ddl("DROP TABLE Scratch")
+        assert gateway.cache_stats.invalidations == before + 1
+
+    def test_grant_and_revoke_flush(self, served):
+        mt, gateway, _ = served
+        grantor = mt.connect(1)
+        grantor.set_scope("IN (1)")
+        grantor.execute("GRANT READ ON Employees TO 0")
+        assert gateway.cache_stats.invalidation_reasons.get("privilege", 0) >= 1
+        flushes = gateway.cache_stats.invalidations
+        grantor.execute("REVOKE READ ON Employees FROM 0")
+        assert gateway.cache_stats.invalidations == flushes + 1
+
+    def test_tenant_registration_flushes(self, served):
+        mt, gateway, _ = served
+        mt.register_tenant(2, "new-tenant")
+        assert gateway.cache_stats.invalidation_reasons.get("tenant") == 1
+
+    def test_create_view_through_a_session_flushes(self, served):
+        mt, gateway, session = served
+        session.execute("CREATE VIEW Expensive AS SELECT E_name FROM Employees WHERE E_salary > 100000")
+        assert gateway.cache_stats.invalidation_reasons.get("ddl") == 1
+        assert len(gateway.cache) == 0
+
+    def test_released_session_is_forgotten(self, served):
+        _, gateway, session = served
+        assert session in gateway.sessions
+        session.close()
+        assert session not in gateway.sessions
+        session.close()  # idempotent
+
+    def test_closed_gateway_stops_listening(self, served):
+        mt, gateway, _ = served
+        gateway.close()
+        before = gateway.cache_stats.invalidations
+        mt.execute_ddl("CREATE TABLE Scratch GLOBAL (S_id INTEGER NOT NULL)")
+        assert gateway.cache_stats.invalidations == before
+
+    def test_closed_gateway_serves_cold_but_correct(self, served):
+        """A detached cache can't see invalidations, so close() disables it:
+        orphaned sessions keep working, uncached."""
+        mt, gateway, session = served
+        sql = "SELECT E_name FROM Employees ORDER BY E_name"
+        expected = session.query(sql).rows
+        gateway.close()
+        assert len(gateway.cache) == 0
+        assert session.query(sql).rows == expected
+        assert session.query(sql).rows == expected
+        assert len(gateway.cache) == 0  # nothing recached after close
+
+    def test_stale_all_tenant_plan_never_served_after_tenant_registration(self):
+        """The wrong-answer scenario invalidation exists for: an explicit
+        ``IN (0, 1)`` scope equals *all* tenants, so O1+ drops the ttid
+        filter from the rewrite.  Registering tenant 2 makes the same D'
+        a strict subset — a stale plan would leak tenant 2's rows."""
+        mt = build_paper_example()
+        gateway = mt.gateway()
+        session = gateway.session(0, optimization="o4", scope="IN (0, 1)")
+        sql = "SELECT E_name FROM Employees ORDER BY E_name"
+        before = session.query(sql).rows
+        mt.register_tenant(2, "interloper")
+        # tenant 2 loads a row through the middleware's own DML pipeline
+        writer = mt.connect(2)
+        writer.execute("INSERT INTO Employees VALUES (9, 'Mallory', 0, 1, 1000, 33)")
+        mt.allow_cross_tenant_access(privileges=("READ",))
+        warm = session.query(sql).rows
+        direct = mt.connect(0, optimization="o4")
+        direct.set_scope("IN (0, 1)")
+        assert warm == direct.query(sql).rows == before
+        assert all(row[0] != "Mallory" for row in warm)

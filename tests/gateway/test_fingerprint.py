@@ -1,0 +1,72 @@
+"""Statement fingerprinting: normalization, literal extraction, stability."""
+
+from repro.gateway import fingerprint_statement
+from repro.sql.parser import parse_statement
+
+
+class TestNormalization:
+    def test_whitespace_and_comments_do_not_change_the_digest(self):
+        a = fingerprint_statement("SELECT E_name FROM Employees WHERE E_age > 30")
+        b = fingerprint_statement(
+            "SELECT   E_name\n  FROM Employees -- trailing comment\n  WHERE E_age > 30"
+        )
+        c = fingerprint_statement(
+            "SELECT /* block */ E_name FROM Employees WHERE E_age > 30"
+        )
+        assert a.digest == b.digest == c.digest
+        assert a.template == b.template == c.template
+
+    def test_identifier_spelling_is_preserved(self):
+        # aliases determine result column names, so case-folding identifiers
+        # could serve a cached plan with the wrong output header
+        a = fingerprint_statement("SELECT E_salary AS Pay FROM Employees")
+        b = fingerprint_statement("SELECT E_salary AS pay FROM Employees")
+        assert a.digest != b.digest
+
+    def test_parsed_statement_matches_its_printed_text(self):
+        text = "SELECT E_name, E_salary FROM Employees WHERE E_age >= 30 ORDER BY E_name"
+        assert (
+            fingerprint_statement(parse_statement(text)).digest
+            == fingerprint_statement(text).digest
+        )
+
+
+class TestLiterals:
+    def test_literals_are_extracted_into_the_template(self):
+        fp = fingerprint_statement(
+            "SELECT E_name FROM Employees WHERE E_age > 30 AND E_name <> 'Bob'"
+        )
+        assert fp.literals == ("30", "Bob")
+        assert "30" not in fp.template
+        assert "Bob" not in fp.template
+
+    def test_different_literals_share_the_template_digest(self):
+        a = fingerprint_statement("SELECT E_name FROM Employees WHERE E_age > 30")
+        b = fingerprint_statement("SELECT E_name FROM Employees WHERE E_age > 65")
+        assert a.template_digest == b.template_digest
+        assert a.digest != b.digest
+
+    def test_number_and_string_literals_do_not_collide(self):
+        a = fingerprint_statement("SELECT E_name FROM Employees WHERE E_name = '1'")
+        b = fingerprint_statement("SELECT E_name FROM Employees WHERE E_name = 1")
+        assert a.digest != b.digest
+
+    def test_literal_vector_is_position_sensitive(self):
+        a = fingerprint_statement("SELECT 1, 2 FROM Employees")
+        b = fingerprint_statement("SELECT 2, 1 FROM Employees")
+        assert a.digest != b.digest
+        assert a.template_digest == b.template_digest
+
+    def test_literal_boundaries_cannot_be_forged(self):
+        # same template, literal vectors that concatenate identically
+        a = fingerprint_statement("SELECT 'a\x1f', 'b' FROM Employees")
+        b = fingerprint_statement("SELECT 'a', '\x1fb' FROM Employees")
+        assert a.template_digest == b.template_digest
+        assert a.digest != b.digest
+
+
+class TestRepr:
+    def test_repr_is_compact(self):
+        fp = fingerprint_statement("SELECT E_name FROM Employees")
+        assert "Fingerprint(" in repr(fp)
+        assert len(repr(fp)) < 200

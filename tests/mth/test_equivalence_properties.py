@@ -126,8 +126,12 @@ def test_client_format_conversion_is_consistent(sql):
 
     Only checked for SUM/MIN/MAX/AVG over the convertible salary column where
     the relationship is exact; other queries are covered by the level tests.
+    Queries with a WHERE clause are excluded: the generated predicates compare
+    E_salary against a constant, and constants are interpreted in each
+    client's *own* currency (§2.4), so the two clients legitimately select
+    different rows.
     """
-    if "E_salary" not in sql.split("FROM")[0] or "COUNT" in sql:
+    if "E_salary" not in sql.split("FROM")[0] or "COUNT" in sql or "WHERE" in sql:
         return
     usd = middleware().connect(0, optimization="o4")
     usd.set_scope("IN (0, 1)")
