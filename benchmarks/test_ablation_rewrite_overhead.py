@@ -32,5 +32,5 @@ def test_execute_prerewritten(benchmark, workload, query_id):
     rewritten = connection.rewrite(query_text(query_id))
     workload.reset_caches()
     benchmark.pedantic(
-        lambda: workload.mth.database.execute(rewritten), rounds=1, iterations=1
+        lambda: workload.backend.execute(rewritten), rounds=1, iterations=1
     )

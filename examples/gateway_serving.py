@@ -11,15 +11,31 @@ workload through the concurrent executor:
 The script prints per-round throughput/latency and the cache hit rate, and
 verifies that warm results equal the cold ones.
 
-Run with ``PYTHONPATH=src python examples/gateway_serving.py``.
+Run with ``PYTHONPATH=src python examples/gateway_serving.py``; pass
+``--backend sqlite`` to serve the workload from the SQLite execution backend
+instead of the in-memory engine.
 """
 
+import argparse
+
+from repro.backends import BACKEND_NAMES
 from repro.bench.workload import WorkloadConfig, load_workload
 from repro.mth.queries import query_text
 
 TENANTS = 4
 SCALE_FACTOR = 0.001
 QUERY_IDS = (1, 3, 6, 10, 22)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="engine",
+        help="execution backend serving the workload (default: engine)",
+    )
+    return parser.parse_args()
 
 
 def build_batches(gateway, tenants):
@@ -34,14 +50,24 @@ def build_batches(gateway, tenants):
 
 
 def main() -> None:
-    print(f"loading MT-H: sf={SCALE_FACTOR}, {TENANTS} tenants ...")
+    args = parse_args()
+    print(f"loading MT-H: sf={SCALE_FACTOR}, {TENANTS} tenants, backend={args.backend} ...")
     workload = load_workload(
-        WorkloadConfig(scale_factor=SCALE_FACTOR, tenants=TENANTS, distribution="uniform")
+        WorkloadConfig(
+            scale_factor=SCALE_FACTOR,
+            tenants=TENANTS,
+            distribution="uniform",
+            backend=args.backend,
+        )
     )
     gateway = workload.gateway(cache_size=512)
     batches = build_batches(gateway, TENANTS)
     sessions = len(batches)
-    print(f"{sessions} sessions x {len(QUERY_IDS)} queries, O4, concurrent\n")
+    backend = workload.backend
+    print(
+        f"{sessions} sessions x {len(QUERY_IDS)} queries, O4, concurrent, "
+        f"served by the {backend.name!r} backend ({backend.dialect.name} dialect)\n"
+    )
 
     cold = gateway.run_concurrent(batches)
     print(f"cold (parse + rewrite + execute): {cold.describe()}")

@@ -1,0 +1,75 @@
+"""Execution backends: pluggable DBMSes below the MTBase middleware.
+
+The middleware rewrites MTSQL into plain SQL; a *backend* executes that SQL.
+This package defines the protocol (:class:`Backend`,
+:class:`BackendConnection`) and ships two implementations:
+
+* :class:`EngineBackend` — the pure-Python in-memory engine with the paper's
+  "postgres" / "system_c" UDF-caching profiles,
+* :class:`SQLiteBackend` — a real DBMS (stdlib :mod:`sqlite3`) with the
+  conversion functions registered as native UDFs.
+
+Use :func:`create_backend` to build one by name (the spelling the
+``REPRO_BENCH_BACKEND`` environment variable uses).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import BackendError
+from .base import (
+    Backend,
+    BackendConnection,
+    normalize_row,
+    normalize_value,
+    normalized_rows,
+)
+from .engine import EngineBackend, EngineConnection
+from .sqlite import SQLiteBackend, SQLiteConnection
+
+BACKEND_NAMES = ("engine", "sqlite")
+
+
+def create_backend(name: str, profile: str = "postgres") -> Backend:
+    """Instantiate a backend by name (``"engine"`` or ``"sqlite"``)."""
+    normalized = name.strip().lower()
+    if normalized == "engine":
+        return EngineBackend(profile=profile)
+    if normalized == "sqlite":
+        return SQLiteBackend(profile=profile)
+    raise BackendError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )
+
+
+def as_backend_connection(
+    backend: Union[Backend, BackendConnection, str], profile: str = "postgres"
+) -> BackendConnection:
+    """Normalize a backend spec (name, factory or connection) to a connection."""
+    if isinstance(backend, str):
+        backend = create_backend(backend, profile=profile)
+    if isinstance(backend, Backend):
+        return backend.connect()
+    if isinstance(backend, BackendConnection):
+        return backend
+    raise BackendError(
+        f"expected a backend name, Backend or BackendConnection, got "
+        f"{type(backend).__name__}"
+    )
+
+
+__all__ = [
+    "Backend",
+    "BackendConnection",
+    "BACKEND_NAMES",
+    "EngineBackend",
+    "EngineConnection",
+    "SQLiteBackend",
+    "SQLiteConnection",
+    "as_backend_connection",
+    "create_backend",
+    "normalize_row",
+    "normalize_value",
+    "normalized_rows",
+]

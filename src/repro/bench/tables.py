@@ -151,9 +151,9 @@ def run_table(
         for query_id in query_ids:
             text = query_text(query_id)
             workload.reset_caches()
-            database = workload.mth.database
+            backend = workload.backend
             seconds = time_query(lambda: connection.query(text), repetitions)
-            stats = database.stats
+            stats = backend.stats
             result.cells[(level.value, query_id)] = Measurement(
                 query_id=query_id,
                 level=level.value,

@@ -18,8 +18,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..backends import BACKEND_NAMES, BackendConnection, create_backend
 from ..core.middleware import MTBase
-from ..engine.database import Database
 from ..errors import ConfigurationError
 from ..gateway import GatewaySession, QueryGateway
 from ..mth.dbgen import TPCHData, generate
@@ -40,6 +40,25 @@ def env_scale_factor(default: float) -> float:
         ) from exc
 
 
+def env_backend(default: str = "engine") -> str:
+    """Execution-backend override via ``REPRO_BENCH_BACKEND`` (engine/sqlite).
+
+    Lets the table/figure benchmarks run on a real database engine: with
+    ``REPRO_BENCH_BACKEND=sqlite`` both the MT-H instance and the TPC-H
+    baseline are loaded into SQLite and every measured statement executes
+    there.
+    """
+    value = os.environ.get("REPRO_BENCH_BACKEND", "").strip().lower()
+    if not value:
+        return default
+    if value not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"the REPRO_BENCH_BACKEND environment variable must be one of "
+            f"{', '.join(BACKEND_NAMES)}, got {value!r}"
+        )
+    return value
+
+
 @dataclass
 class WorkloadConfig:
     """Parameters of one benchmark workload."""
@@ -49,6 +68,7 @@ class WorkloadConfig:
     distribution: str = "uniform"
     profile: str = "postgres"
     seed: int = 20180326
+    backend: str = field(default_factory=env_backend)
 
     @classmethod
     def scenario1(cls, profile: str = "postgres", scale_factor: Optional[float] = None) -> "WorkloadConfig":
@@ -78,12 +98,17 @@ class Workload:
     config: WorkloadConfig
     data: TPCHData
     mth: MTHInstance
-    baseline: Database
+    baseline: BackendConnection
     _gateway: Optional[QueryGateway] = field(default=None, repr=False, compare=False)
 
     @property
     def middleware(self) -> MTBase:
         return self.mth.middleware
+
+    @property
+    def backend(self) -> BackendConnection:
+        """The execution backend serving the MT-H side of the workload."""
+        return self.mth.middleware.backend
 
     def connection(self, client: int = 1, optimization: str = "o4", dataset: str = "all"):
         """Open a client connection with the scope the experiments use.
@@ -122,8 +147,8 @@ class Workload:
 
     def reset_caches(self) -> None:
         """Clear UDF result caches and statistics before a timed run."""
-        self.mth.database.clear_function_caches()
-        self.mth.database.reset_stats()
+        self.backend.clear_function_caches()
+        self.backend.reset_stats()
         self.baseline.clear_function_caches()
         self.baseline.reset_stats()
 
@@ -139,6 +164,7 @@ def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
         config.distribution,
         config.profile,
         config.seed,
+        config.backend,
     )
     if use_cache and key in _WORKLOAD_CACHE:
         return _WORKLOAD_CACHE[key]
@@ -148,8 +174,13 @@ def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
         tenants=config.tenants,
         distribution=config.distribution,
         profile=config.profile,
+        backend=create_backend(config.backend, profile=config.profile),
     )
-    baseline = load_tpch_baseline(data=data, profile=config.profile)
+    baseline = load_tpch_baseline(
+        data=data,
+        profile=config.profile,
+        backend=create_backend(config.backend, profile=config.profile),
+    )
     workload = Workload(config=config, data=data, mth=mth, baseline=baseline)
     if use_cache:
         _WORKLOAD_CACHE[key] = workload

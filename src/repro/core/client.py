@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Union
 
-from ..engine.executor import QueryResult
-from ..engine.database import StatementResult
 from ..errors import MTSQLError, PrivilegeError
+from ..result import QueryResult, StatementResult
 from ..sql import ast
 from ..sql.parser import parse_statement
 from ..sql.printer import to_sql
+from ..sql.transform import walk_expression
 from .dml import DMLRewriter
 from .optimizer import apply_optimizations
 from .optimizer.levels import OptimizationLevel
@@ -30,16 +30,25 @@ from .rewrite.context import RewriteContext, RewriteOptions
 from .scope import ComplexScope, DefaultScope, Scope, SimpleScope, parse_scope, scope_dataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends import BackendConnection
     from .middleware import MTBase
 
 
 class MTConnection:
-    """A client connection with its own C, SCOPE and optimization level."""
+    """A client connection with its own C, SCOPE, optimization level and backend."""
 
-    def __init__(self, middleware: "MTBase", client: int, level: OptimizationLevel) -> None:
+    def __init__(
+        self,
+        middleware: "MTBase",
+        client: int,
+        level: OptimizationLevel,
+        backend: Optional["BackendConnection"] = None,
+    ) -> None:
         self.middleware = middleware
         self.client = client
         self.optimization = level
+        #: the execution backend this connection's statements are sent to
+        self.backend = backend if backend is not None else middleware.backend
         self.scope: Scope = DefaultScope()
         #: the most recently executed rewritten statement(s), for inspection
         self.last_rewritten: list[ast.Statement] = []
@@ -47,7 +56,7 @@ class MTConnection:
     def __repr__(self) -> str:
         return (
             f"MTConnection(client={self.client}, scope={self.scope.describe()!r}, "
-            f"optimization={self.optimization.value})"
+            f"optimization={self.optimization.value}, backend={self.backend.name})"
         )
 
     # -- scope handling -----------------------------------------------------------
@@ -74,7 +83,7 @@ class MTConnection:
     def _resolve_complex_scope(self, scope: ComplexScope) -> list[int]:
         context = self._rewrite_context(dataset=self.middleware.tenants())
         rewritten = CanonicalRewriter(context).rewrite_scope_query(scope.query)
-        result = self.middleware.database.execute(rewritten)
+        result = self.backend.execute(rewritten)
         return [int(row[0]) for row in result.rows]
 
     # -- statement execution ---------------------------------------------------------
@@ -94,12 +103,28 @@ class MTConnection:
         if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
             return self._execute_dml(statement)
         if isinstance(statement, ast.CreateView):
+            self._reject_routed_ddl(statement)
             return self._execute_create_view(statement)
         if isinstance(
             statement, (ast.CreateTable, ast.CreateFunction, ast.DropTable, ast.DropView)
         ):
+            self._reject_routed_ddl(statement)
             return self.middleware.execute_ddl(statement)
         raise MTSQLError(f"unsupported MTSQL statement {type(statement).__name__}")
+
+    def _reject_routed_ddl(self, statement: ast.Statement) -> None:
+        """Schema changes are not allowed through a backend-routed connection.
+
+        DDL updates the shared middleware metadata and must land on the
+        middleware's primary backend; executing it from a connection routed
+        to a replica would split the physical schema across backends.
+        """
+        if self.backend is not self.middleware.backend:
+            raise MTSQLError(
+                f"{type(statement).__name__} is not allowed on a connection routed "
+                f"to an alternate backend; issue DDL through the middleware's "
+                f"primary backend"
+            )
 
     def query(self, statement: Union[str, ast.Select]) -> QueryResult:
         result = self.execute(statement)
@@ -137,7 +162,7 @@ class MTConnection:
         dataset = self._pruned_dataset(query)
         rewritten = self._rewrite_query(query, dataset)
         self.last_rewritten = [rewritten]
-        return self.middleware.database.execute(rewritten)
+        return self.backend.execute(rewritten)
 
     def _rewrite_query(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
         context = self._rewrite_context(dataset)
@@ -210,8 +235,6 @@ class MTConnection:
                 visit_from(item.right)
 
         def visit_expression(expr) -> None:
-            from ..engine.expressions import walk_expression
-
             for node in walk_expression(expr):
                 if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
                     visit_select(node.query)
@@ -272,7 +295,7 @@ class MTConnection:
         dataset = self._pruned_dataset(statement, privilege=privilege)
         context = self._rewrite_context(dataset, force_canonical=True)
         rewriter = DMLRewriter(context)
-        database = self.middleware.database
+        database = self.backend
 
         if isinstance(statement, ast.Delete):
             rewritten = rewriter.rewrite_delete(statement)
@@ -317,7 +340,7 @@ class MTConnection:
         self.last_rewritten = list(statements)
         total = 0
         for rewritten in statements:
-            total += self.middleware.database.execute(rewritten).rowcount
+            total += self.backend.execute(rewritten).rowcount
         return StatementResult("INSERT", rowcount=total)
 
     # -- views ------------------------------------------------------------------------
@@ -327,6 +350,6 @@ class MTConnection:
         dataset = self._pruned_dataset(statement.query)
         rewritten = self._rewrite_query(statement.query, dataset)
         self.last_rewritten = [rewritten]
-        self.middleware.database.execute(ast.CreateView(name=statement.name, query=rewritten))
+        self.backend.execute(ast.CreateView(name=statement.name, query=rewritten))
         self.middleware.notify_metadata_change("ddl")
         return StatementResult("CREATE VIEW")

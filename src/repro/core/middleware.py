@@ -1,7 +1,8 @@
 """The MTBase middleware (Figure 4 of the paper).
 
-The middleware sits between clients and an off-the-shelf DBMS (here the
-in-memory engine of :mod:`repro.engine`).  It
+The middleware sits between clients and an off-the-shelf DBMS — any
+:class:`~repro.backends.base.Backend` (the in-memory engine of
+:mod:`repro.engine`, SQLite, ...).  It
 
 * keeps the MT-specific metadata: table generality, attribute comparability,
   conversion function pairs, tenants and privileges,
@@ -20,7 +21,7 @@ import threading
 from dataclasses import replace
 from typing import Callable, Optional, Union
 
-from ..engine.database import Database
+from ..backends import Backend, BackendConnection, EngineBackend, as_backend_connection
 from ..errors import MTSQLError
 from ..sql import ast
 from ..sql.parser import parse_statement
@@ -36,11 +37,17 @@ class MTBase:
 
     def __init__(
         self,
-        database: Optional[Database] = None,
+        database=None,
         profile: str = "postgres",
         default_optimization: OptimizationLevel = OptimizationLevel.O4,
+        backend: Optional[Union[Backend, BackendConnection, str]] = None,
     ) -> None:
-        self.database = database if database is not None else Database(profile)
+        if backend is None:
+            backend = EngineBackend(profile=profile, database=database)
+        elif database is not None:
+            raise MTSQLError("pass either database= (engine shortcut) or backend=, not both")
+        #: the execution backend all statements are sent to
+        self.backend: BackendConnection = as_backend_connection(backend, profile=profile)
         self.schema = MTSchema()
         self.conversions = ConversionRegistry()
         self.privileges = PrivilegeManager()
@@ -49,6 +56,21 @@ class MTBase:
         self.metadata_version = 0
         self._metadata_listeners: list[Callable[[str], None]] = []
         self._metadata_lock = threading.Lock()
+
+    @property
+    def database(self):
+        """The engine backend's in-memory :class:`Database` (back-compat).
+
+        Raises for non-engine backends — code that needs to work on any
+        backend must go through :attr:`backend` instead.
+        """
+        engine_database = getattr(self.backend, "engine_database", None)
+        if engine_database is None:
+            raise MTSQLError(
+                f"the {self.backend.name!r} backend has no in-memory engine "
+                f"Database; use MTBase.backend"
+            )
+        return engine_database
 
     # -- metadata-change signal ---------------------------------------------------
     #
@@ -124,13 +146,13 @@ class MTBase:
         if isinstance(statement, ast.CreateTable):
             return self.create_table(statement, ttid_column=ttid_column)
         if isinstance(statement, (ast.CreateFunction, ast.CreateView)):
-            result = self.database.execute(statement)
+            result = self.backend.execute(statement)
             self.notify_metadata_change("ddl")
             return result
         if isinstance(statement, (ast.DropTable, ast.DropView)):
             if isinstance(statement, ast.DropTable):
                 self.schema.drop_table(statement.name)
-            result = self.database.execute(statement)
+            result = self.backend.execute(statement)
             self.notify_metadata_change("ddl")
             return result
         raise MTSQLError(f"not an MTSQL DDL statement: {type(statement).__name__}")
@@ -177,7 +199,7 @@ class MTBase:
             constraints=physical_constraints,
             generality=None,
         )
-        self.database.execute(physical)
+        self.backend.execute(physical)
         self.notify_metadata_change("ddl")
         return info
 
@@ -206,8 +228,22 @@ class MTBase:
         self,
         ttid: int,
         optimization: Optional[Union[str, OptimizationLevel]] = None,
+        backend: Optional[Union[Backend, BackendConnection]] = None,
     ) -> MTConnection:
-        """Open a client connection; C is derived from the connection (§2.1)."""
+        """Open a client connection; C is derived from the connection (§2.1).
+
+        ``backend`` routes this connection's statements to an alternate
+        execution backend (a replica holding the same physical schema and
+        data); the default is the middleware's own backend.  A bare backend
+        *name* is rejected here — it would create a fresh, empty database,
+        which can never be the replica this parameter promises.
+        """
+        if isinstance(backend, str):
+            raise MTSQLError(
+                "connect(backend=...) needs a Backend or BackendConnection that "
+                "already holds this middleware's data; a name would create an "
+                "empty database"
+            )
         if not self.privileges.has_tenant(ttid):
             raise MTSQLError(f"tenant {ttid} is not registered")
         if optimization is None:
@@ -216,7 +252,8 @@ class MTBase:
             level = optimization
         else:
             level = OptimizationLevel.from_name(optimization)
-        return MTConnection(self, ttid, level)
+        routed = self.backend if backend is None else as_backend_connection(backend)
+        return MTConnection(self, ttid, level, backend=routed)
 
     def gateway(self, cache_size: int = 256, max_workers: Optional[int] = None):
         """Open a :class:`repro.gateway.QueryGateway` serving layer over this instance."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
 from ..errors import ExecutionError
+from ..result import ExecuteResult, StatementResult
 from ..sql import ast
 from ..sql.parser import parse_statement, parse_statements
 from .catalog import Catalog
@@ -47,17 +48,6 @@ PROFILES = {
     "postgres": POSTGRES_PROFILE,
     "system_c": SYSTEM_C_PROFILE,
 }
-
-
-@dataclass
-class StatementResult:
-    """Result of a non-SELECT statement."""
-
-    statement_type: str
-    rowcount: int = 0
-
-
-ExecuteResult = Union[QueryResult, StatementResult]
 
 
 class Database:
@@ -147,8 +137,9 @@ class Database:
     ) -> PythonFunction:
         """Register a Python-backed scalar UDF."""
         function = PythonFunction(name, fn, immutable=immutable)
-        self.catalog.register_function(function)
-        self.executor.invalidate()
+        with self._write_lock:
+            self.catalog.register_function(function)
+            self.executor.invalidate()
         return function
 
     def register_sql_function(
@@ -156,14 +147,16 @@ class Database:
     ) -> SQLFunction:
         """Register a SQL-bodied scalar UDF (``$1`` ... ``$n`` parameters)."""
         function = SQLFunction(name, body, immutable=immutable)
-        self.catalog.register_function(function)
-        self.executor.invalidate()
+        with self._write_lock:
+            self.catalog.register_function(function)
+            self.executor.invalidate()
         return function
 
     def insert_rows(self, table_name: str, rows: list[tuple]) -> int:
         """Bulk-load rows (already in schema order) into a table."""
-        table = self.catalog.table(table_name)
-        table.insert_many(rows)
+        with self._write_lock:
+            table = self.catalog.table(table_name)
+            table.insert_many(rows)
         return len(rows)
 
     def table_rowcount(self, table_name: str) -> int:

@@ -12,10 +12,11 @@ statement, not one per row.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import ExecutionError, FunctionError
+from ..result import ExecutionStats, QueryResult
 from ..sql import ast
 from ..sql.printer import to_sql
 from ..sql.transform import transform_expression
@@ -31,85 +32,11 @@ from .planner import EmptyPipeline, JoinPipeline, Planner
 
 
 @dataclass
-class QueryResult:
-    """Result of executing a SELECT: column names plus row tuples."""
-
-    columns: list[str]
-    rows: list[tuple]
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def column_index(self, name: str) -> int:
-        lowered = [column.lower() for column in self.columns]
-        try:
-            return lowered.index(name.lower())
-        except ValueError as exc:
-            raise ExecutionError(f"result has no column {name!r}") from exc
-
-    def column_values(self, name: str) -> list[Any]:
-        index = self.column_index(name)
-        return [row[index] for row in self.rows]
-
-    def as_dicts(self) -> list[dict[str, Any]]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-    def first(self) -> Optional[tuple]:
-        return self.rows[0] if self.rows else None
-
-    def scalar(self) -> Any:
-        if not self.rows or not self.rows[0]:
-            return None
-        return self.rows[0][0]
-
-
-@dataclass
 class ValueSet:
     """Materialized membership set for IN (sub-query) predicates."""
 
     values: set
     has_null: bool
-
-
-@dataclass
-class ExecutionStats:
-    """Statement-level counters surfaced to tests and the benchmark harness.
-
-    Counters are incremented through :meth:`add` so that concurrent sessions
-    (the gateway runs many threads against one database) do not lose updates
-    to read-modify-write races.
-    """
-
-    udf_calls: int = 0
-    udf_executions: int = 0
-    udf_cache_hits: int = 0
-    subquery_runs: int = 0
-    statements: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
-
-    def add(self, **counts: int) -> None:
-        """Atomically add to one or more counters."""
-        with self._lock:
-            for name, amount in counts.items():
-                setattr(self, name, getattr(self, name) + amount)
-
-    def add_udf_call(self, executed: int) -> None:
-        """Hot-path variant of :meth:`add` for the per-UDF-call counters
-        (one lock acquisition, no kwargs/getattr overhead)."""
-        with self._lock:
-            self.udf_calls += 1
-            self.udf_executions += executed
-            self.udf_cache_hits += 1 - executed
-
-    def reset(self) -> None:
-        with self._lock:
-            self.udf_calls = 0
-            self.udf_executions = 0
-            self.udf_cache_hits = 0
-            self.subquery_runs = 0
-            self.statements = 0
 
 
 class ExecutionContext:

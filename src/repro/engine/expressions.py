@@ -18,6 +18,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..errors import ExecutionError, FunctionError
 from ..sql import ast
+from ..sql.transform import walk_expression
 from ..sql.types import (
     Date,
     Interval,
@@ -477,47 +478,6 @@ def _like_regex(pattern: str) -> "re.Pattern[str]":
 # ---------------------------------------------------------------------------
 # analysis helpers used by the planner and the MTSQL rewriter
 # ---------------------------------------------------------------------------
-
-
-def walk_expression(expr: Optional[ast.Expression]):
-    """Yield every expression node in a tree (not descending into sub-queries)."""
-    if expr is None:
-        return
-    yield expr
-    if isinstance(expr, ast.BinaryOp):
-        yield from walk_expression(expr.left)
-        yield from walk_expression(expr.right)
-    elif isinstance(expr, ast.UnaryOp):
-        yield from walk_expression(expr.operand)
-    elif isinstance(expr, ast.FunctionCall):
-        for argument in expr.args:
-            yield from walk_expression(argument)
-    elif isinstance(expr, ast.Case):
-        for when in expr.whens:
-            yield from walk_expression(when.condition)
-            yield from walk_expression(when.result)
-        yield from walk_expression(expr.else_result)
-    elif isinstance(expr, ast.InList):
-        yield from walk_expression(expr.expr)
-        for item in expr.items:
-            yield from walk_expression(item)
-    elif isinstance(expr, ast.InSubquery):
-        yield from walk_expression(expr.expr)
-    elif isinstance(expr, ast.Between):
-        yield from walk_expression(expr.expr)
-        yield from walk_expression(expr.low)
-        yield from walk_expression(expr.high)
-    elif isinstance(expr, ast.Like):
-        yield from walk_expression(expr.expr)
-        yield from walk_expression(expr.pattern)
-    elif isinstance(expr, ast.IsNull):
-        yield from walk_expression(expr.expr)
-    elif isinstance(expr, (ast.Extract,)):
-        yield from walk_expression(expr.expr)
-    elif isinstance(expr, ast.Substring):
-        yield from walk_expression(expr.expr)
-        yield from walk_expression(expr.start)
-        yield from walk_expression(expr.length)
 
 
 def contains_subquery(expr: Optional[ast.Expression]) -> bool:

@@ -56,6 +56,10 @@ class ConfigurationError(ReproError):
     """Raised when an environment/configuration value cannot be interpreted."""
 
 
+class BackendError(ReproError):
+    """Raised when an execution backend is misused or cannot perform a request."""
+
+
 class MTSQLError(ReproError):
     """Base class for errors raised by the MTSQL middleware layer."""
 

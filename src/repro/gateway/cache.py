@@ -40,12 +40,19 @@ from .fingerprint import Fingerprint
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of one cached rewrite."""
+    """Identity of one cached rewrite.
+
+    ``dialect`` is the executing backend's dialect name: sessions of one
+    gateway may route to different backends, and although the cached value
+    is a dialect-neutral AST, sharing entries across dialects would corrupt
+    the per-backend hit/invalidation accounting the benchmarks rely on.
+    """
 
     digest: str
     client: int
     dataset: tuple[int, ...]
     level: OptimizationLevel
+    dialect: str = "default"
 
 
 @dataclass(frozen=True)

@@ -53,9 +53,16 @@ class QueryGateway:
         ttid: int,
         optimization: Optional[Union[str, OptimizationLevel]] = None,
         scope=None,
+        backend=None,
     ) -> GatewaySession:
-        """Open a serving session for tenant ``ttid``."""
-        connection = self.middleware.connect(ttid, optimization=optimization)
+        """Open a serving session for tenant ``ttid``.
+
+        ``backend`` routes the session to an alternate execution backend (a
+        replica of the middleware's data); the rewrite cache keys entries on
+        the backend's dialect, so differently-routed sessions never share a
+        cached plan.
+        """
+        connection = self.middleware.connect(ttid, optimization=optimization, backend=backend)
         if scope is not None:
             connection.set_scope(scope)
         with self._lock:

@@ -30,8 +30,8 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Union
 
-from ..engine.executor import QueryResult
 from ..errors import MTSQLError
+from ..result import QueryResult
 from ..sql import ast
 from ..sql.parser import parse_statement
 from .cache import CacheKey, StatementInfo
@@ -171,6 +171,7 @@ class GatewaySession:
             client=connection.client,
             dataset=pruned,
             level=connection.optimization,
+            dialect=connection.backend.dialect.name,
         )
         cache = self.gateway.cache
         plan = cache.get(key)
@@ -183,7 +184,7 @@ class GatewaySession:
             self.stats.cache_hits += 1
         self.stats.executed += 1
         connection.last_rewritten = [plan.rewritten]
-        return connection.middleware.database.execute(plan.rewritten)
+        return connection.backend.execute(plan.rewritten)
 
     def __repr__(self) -> str:
         return (

@@ -126,23 +126,29 @@ PHONE_FROM_UNIVERSAL_SQL = (
 
 
 def deploy_conversions(middleware: MTBase, tenants: list[int]) -> dict[str, ConversionPair]:
-    """Create meta tables, UDFs and conversion pairs for the given tenants."""
-    database = middleware.database
-    for ddl in META_TABLES_DDL:
-        database.execute(ddl)
+    """Create meta tables, UDFs and conversion pairs for the given tenants.
 
-    database.insert_rows(
+    Deployment goes through the backend protocol, so the same Listings-4-7
+    UDFs land on whichever DBMS backs the middleware (the engine evaluates
+    the SQL bodies natively, the SQLite backend registers them via
+    ``sqlite3.create_function``).
+    """
+    backend = middleware.backend
+    for ddl in META_TABLES_DDL:
+        backend.execute(ddl)
+
+    backend.insert_rows(
         "CurrencyTransform",
         [
             (currency.key, currency.code, currency.to_universal, currency.from_universal)
             for currency in CURRENCIES
         ],
     )
-    database.insert_rows(
+    backend.insert_rows(
         "PhoneTransform",
         [(phone.key, phone.prefix) for phone in PHONE_FORMATS],
     )
-    database.insert_rows(
+    backend.insert_rows(
         "Tenant",
         [
             (ttid, currency_for_tenant(ttid).key, phone_format_for_tenant(ttid).key)
@@ -150,14 +156,14 @@ def deploy_conversions(middleware: MTBase, tenants: list[int]) -> dict[str, Conv
         ],
     )
 
-    database.register_sql_function(
+    backend.register_sql_function(
         "currencyToUniversal", CURRENCY_TO_UNIVERSAL_SQL, immutable=True
     )
-    database.register_sql_function(
+    backend.register_sql_function(
         "currencyFromUniversal", CURRENCY_FROM_UNIVERSAL_SQL, immutable=True
     )
-    database.register_sql_function("phoneToUniversal", PHONE_TO_UNIVERSAL_SQL, immutable=True)
-    database.register_sql_function(
+    backend.register_sql_function("phoneToUniversal", PHONE_TO_UNIVERSAL_SQL, immutable=True)
+    backend.register_sql_function(
         "phoneFromUniversal", PHONE_FROM_UNIVERSAL_SQL, immutable=True
     )
 
@@ -165,13 +171,13 @@ def deploy_conversions(middleware: MTBase, tenants: list[int]) -> dict[str, Conv
     rates_to = {ttid: currency_for_tenant(ttid).to_universal for ttid in tenants}
     rates_from = {ttid: currency_for_tenant(ttid).from_universal for ttid in tenants}
     prefixes = {ttid: phone_format_for_tenant(ttid).prefix for ttid in tenants}
-    database.register_python_function(
+    backend.register_python_function(
         "mt_currency_rate_to_universal", rates_to.__getitem__, immutable=True
     )
-    database.register_python_function(
+    backend.register_python_function(
         "mt_currency_rate_from_universal", rates_from.__getitem__, immutable=True
     )
-    database.register_python_function("mt_phone_prefix", prefixes.__getitem__, immutable=True)
+    backend.register_python_function("mt_phone_prefix", prefixes.__getitem__, immutable=True)
 
     currency_pair = make_currency_pair()
     phone_pair = make_phone_pair()

@@ -11,10 +11,10 @@ the paper's tables and figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from ..backends import Backend, BackendConnection, as_backend_connection
 from ..core.middleware import MTBase
-from ..engine.database import Database
 from . import conversions as conv
 from .dbgen import TPCHData, generate
 from .schema import CREATION_ORDER, MT_DDL, TENANT_SPECIFIC_TABLES, TTID_COLUMNS, plain_ddl
@@ -40,7 +40,13 @@ class MTHInstance:
     customer_tenants: list[int]
 
     @property
-    def database(self) -> Database:
+    def backend(self) -> BackendConnection:
+        """The execution backend the instance was loaded into."""
+        return self.middleware.backend
+
+    @property
+    def database(self):
+        """Engine-backend shortcut (raises for other backends)."""
         return self.middleware.database
 
 
@@ -51,11 +57,17 @@ def load_mth(
     profile: str = "postgres",
     seed: int = 20180326,
     data: Optional[TPCHData] = None,
+    backend: Optional[Union[Backend, BackendConnection, str]] = None,
 ) -> MTHInstance:
-    """Generate (or reuse) TPC-H data and load it as a multi-tenant MT-H database."""
+    """Generate (or reuse) TPC-H data and load it as a multi-tenant MT-H database.
+
+    ``backend`` selects the execution backend (``"engine"``, ``"sqlite"``, a
+    :class:`~repro.backends.Backend` or an open connection); the default is a
+    fresh in-memory engine with the given UDF-caching ``profile``.
+    """
     if data is None:
         data = generate(scale_factor=scale_factor, seed=seed)
-    middleware = MTBase(profile=profile)
+    middleware = MTBase(profile=profile, backend=backend)
 
     tenant_ids = list(range(1, tenants + 1))
     for ttid in tenant_ids:
@@ -74,7 +86,7 @@ def load_mth(
     for table in CREATION_ORDER:
         if table in TENANT_SPECIFIC_TABLES:
             continue
-        middleware.database.insert_rows(table, data.table(table))
+        middleware.backend.insert_rows(table, data.table(table))
 
     # tenant-specific tables: assign customers to tenants, propagate to orders
     # and line items, convert convertible values into the owner's format
@@ -84,7 +96,7 @@ def load_mth(
     }
     orderkey_to_tenant: dict[int, int] = {}
 
-    middleware.database.insert_rows(
+    middleware.backend.insert_rows(
         "customer",
         [
             _owned_row("customer", row, ttid)
@@ -97,9 +109,9 @@ def load_mth(
         ttid = custkey_to_tenant[row[1]]
         orderkey_to_tenant[row[0]] = ttid
         order_rows.append(_owned_row("orders", row, ttid))
-    middleware.database.insert_rows("orders", order_rows)
+    middleware.backend.insert_rows("orders", order_rows)
 
-    middleware.database.insert_rows(
+    middleware.backend.insert_rows(
         "lineitem",
         [
             _owned_row("lineitem", row, orderkey_to_tenant[row[0]])
@@ -125,15 +137,16 @@ def load_tpch_baseline(
     scale_factor: float = 0.001,
     profile: str = "postgres",
     seed: int = 20180326,
-) -> Database:
+    backend: Optional[Union[Backend, BackendConnection, str]] = None,
+) -> BackendConnection:
     """Load the same data as a plain single-tenant TPC-H database."""
     if data is None:
         data = generate(scale_factor=scale_factor, seed=seed)
-    database = Database(profile)
+    connection = as_backend_connection(backend if backend is not None else "engine", profile=profile)
     for table in CREATION_ORDER:
-        database.execute(plain_ddl(table))
-        database.insert_rows(table, data.table(table))
-    return database
+        connection.execute(plain_ddl(table))
+        connection.insert_rows(table, data.table(table))
+    return connection
 
 
 def _owned_row(table: str, row: tuple, ttid: int) -> tuple:

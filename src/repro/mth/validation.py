@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.client import MTConnection
-from ..engine.database import Database
-from ..engine.executor import QueryResult
+from ..backends import BackendConnection
+from ..result import QueryResult
 from ..sql.types import Date
 from .queries import ALL_QUERY_IDS, query_text
 
@@ -77,7 +77,7 @@ def _values_close(left, right, tolerance: float) -> bool:
 
 def validate_queries(
     connection: MTConnection,
-    baseline: Database,
+    baseline: BackendConnection,
     query_ids: tuple[int, ...] = ALL_QUERY_IDS,
     tolerance: float = 1e-2,
 ) -> ValidationReport:

@@ -1,0 +1,125 @@
+"""Backend-neutral result and statistics types.
+
+Every execution backend (the in-memory engine, SQLite, ...) returns the same
+result shapes, so the layers above — the MTBase middleware, the gateway, the
+benchmark harness — never need to know which DBMS actually ran a statement:
+
+* :class:`QueryResult` for SELECT statements,
+* :class:`StatementResult` for everything else,
+* :class:`ExecutionStats` for the statement/UDF counters the benchmarks and
+  tests read.
+
+:mod:`repro.engine` re-exports these names for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
+
+from .errors import ExecutionError
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a SELECT: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column_index(self, name: str) -> int:
+        """Position of the result column ``name`` (case-insensitive).
+
+        Raises :class:`ExecutionError` both for a missing column and for an
+        ambiguous one — silently returning the first of several same-named
+        columns would make ``column_values`` read the wrong data.
+        """
+        target = name.lower()
+        matches = [
+            index for index, column in enumerate(self.columns) if column.lower() == target
+        ]
+        if not matches:
+            raise ExecutionError(f"result has no column {name!r}")
+        if len(matches) > 1:
+            raise ExecutionError(
+                f"ambiguous result column {name!r}: appears at positions {matches}; "
+                f"alias the query's output columns to disambiguate"
+            )
+        return matches[0]
+
+    def column_values(self, name: str) -> list[Any]:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+
+@dataclass
+class StatementResult:
+    """Result of a non-SELECT statement."""
+
+    statement_type: str
+    rowcount: int = 0
+
+
+ExecuteResult = Union[QueryResult, StatementResult]
+
+
+@dataclass
+class ExecutionStats:
+    """Statement-level counters surfaced to tests and the benchmark harness.
+
+    Counters are incremented through :meth:`add` so that concurrent sessions
+    (the gateway runs many threads against one backend) do not lose updates
+    to read-modify-write races.
+    """
+
+    udf_calls: int = 0
+    udf_executions: int = 0
+    udf_cache_hits: int = 0
+    subquery_runs: int = 0
+    statements: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, **counts: int) -> None:
+        """Atomically add to one or more counters."""
+        with self._lock:
+            for name, amount in counts.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def add_udf_call(self, executed: int) -> None:
+        """Hot-path variant of :meth:`add` for the per-UDF-call counters
+        (one lock acquisition, no kwargs/getattr overhead)."""
+        with self._lock:
+            self.udf_calls += 1
+            self.udf_executions += executed
+            self.udf_cache_hits += 1 - executed
+
+    def reset(self) -> None:
+        with self._lock:
+            self.udf_calls = 0
+            self.udf_executions = 0
+            self.udf_cache_hits = 0
+            self.subquery_runs = 0
+            self.statements = 0

@@ -31,7 +31,7 @@ class TestWorkloadSetup:
         assert scenario2.tenants == 100 and scenario2.distribution == "zipf"
 
     def test_workload_has_both_databases(self, small_workload):
-        assert small_workload.mth.database.table_rowcount("lineitem") == \
+        assert small_workload.backend.table_rowcount("lineitem") == \
             small_workload.baseline.table_rowcount("lineitem")
 
     def test_connection_helper_sets_scope(self, small_workload):
@@ -50,9 +50,9 @@ class TestWorkloadSetup:
         assert third is not first
 
     def test_reset_caches_clears_stats(self, small_workload):
-        small_workload.mth.database.stats.udf_calls = 123
+        small_workload.backend.stats.udf_calls = 123
         small_workload.reset_caches()
-        assert small_workload.mth.database.stats.udf_calls == 0
+        assert small_workload.backend.stats.udf_calls == 0
 
     def test_env_scale_factor_override(self, monkeypatch):
         from repro.bench.workload import env_scale_factor
@@ -60,6 +60,34 @@ class TestWorkloadSetup:
         assert env_scale_factor(0.002) == 0.002
         monkeypatch.setenv("REPRO_BENCH_SF", "0.01")
         assert env_scale_factor(0.002) == 0.01
+
+    def test_env_backend_override(self, monkeypatch):
+        from repro.errors import ConfigurationError
+        from repro.bench.workload import env_backend
+
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        assert env_backend() == "engine"
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "SQLite")
+        assert env_backend() == "sqlite"
+        assert WorkloadConfig().backend == "sqlite"
+        assert WorkloadConfig.scenario1().backend == "sqlite"
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "oracle")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_BACKEND"):
+            env_backend()
+
+    def test_sqlite_backend_workload_serves_queries(self):
+        config = WorkloadConfig(scale_factor=0.0005, tenants=2, backend="sqlite")
+        workload = load_workload(config)
+        assert workload.backend.dialect.name == "sqlite"
+        assert workload.baseline.dialect.name == "sqlite"
+        connection = workload.connection(client=1, dataset="all")
+        mt_rows = connection.query("SELECT COUNT(*) FROM lineitem").scalar()
+        baseline_rows = workload.baseline.query(
+            "SELECT COUNT(*) FROM lineitem"
+        ).scalar()
+        assert mt_rows == baseline_rows > 0
+        session = workload.gateway_session(client=1, dataset="all")
+        assert session.query("SELECT COUNT(*) FROM lineitem").scalar() == mt_rows
 
 
 class TestTableRunner:

@@ -36,10 +36,16 @@ REGIONS = [
 ]
 
 
-def build_paper_example(profile: str = "postgres", with_phone: bool = False) -> MTBase:
-    """Build the paper's running example on a fresh middleware instance."""
-    mt = MTBase(profile=profile)
-    db = mt.database
+def build_paper_example(
+    profile: str = "postgres", with_phone: bool = False, backend=None
+) -> MTBase:
+    """Build the paper's running example on a fresh middleware instance.
+
+    ``backend`` selects the execution backend ("engine", "sqlite", or a
+    Backend/BackendConnection); the default is a fresh in-memory engine.
+    """
+    mt = MTBase(profile=profile, backend=backend)
+    db = mt.backend
 
     db.execute(
         "CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL,"
@@ -153,6 +159,12 @@ def build_paper_example(profile: str = "postgres", with_phone: bool = False) -> 
 def paper_mt() -> MTBase:
     """A fresh running-example middleware for tests that mutate data."""
     return build_paper_example()
+
+
+@pytest.fixture
+def paper_example_factory():
+    """The builder itself, for tests that pick profile/backend per case."""
+    return build_paper_example
 
 
 @pytest.fixture(scope="session")
