@@ -1,15 +1,21 @@
 """repro — a reproduction of *MTBase: Optimizing Cross-Tenant Database Queries*.
 
-The package is organized in four layers:
+The package is organized in layers (see ``docs/architecture.md``):
 
-* :mod:`repro.sql`    — SQL/MTSQL lexer, parser, AST and printer,
-* :mod:`repro.engine` — an in-memory SQL engine (the simulated back-end DBMS),
-* :mod:`repro.core`   — MTSQL semantics: conversion functions, scopes,
+* :mod:`repro.sql`      — SQL/MTSQL lexer, parser, AST and dialect-aware
+  printer, plus the per-shard query/merge-plan splits,
+* :mod:`repro.engine`   — an in-memory SQL engine (the simulated back-end DBMS),
+* :mod:`repro.core`     — MTSQL semantics: conversion functions, scopes,
   privileges, the canonical rewrite algorithm, the optimizer and the MTBase
   middleware/client,
-* :mod:`repro.mth`    — the MT-H benchmark (schema, data generator, queries),
-* :mod:`repro.bench`  — the experiment harness regenerating the paper's
-  tables and figures.
+* :mod:`repro.backends` — the execution-backend protocol with engine, SQLite
+  and sharded-cluster implementations,
+* :mod:`repro.cluster`  — tenant placement, the distributed query planner and
+  the scatter-gather coordinator behind the sharded backend,
+* :mod:`repro.gateway`  — the caching, concurrent multi-tenant serving layer,
+* :mod:`repro.mth`      — the MT-H benchmark (schema, data generator, queries),
+* :mod:`repro.bench`    — the experiment harness regenerating the paper's
+  tables and figures (plus shard-count scaling).
 """
 
 from .engine import Database, QueryResult

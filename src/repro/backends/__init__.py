@@ -7,10 +7,14 @@ This package defines the protocol (:class:`Backend`,
 * :class:`EngineBackend` — the pure-Python in-memory engine with the paper's
   "postgres" / "system_c" UDF-caching profiles,
 * :class:`SQLiteBackend` — a real DBMS (stdlib :mod:`sqlite3`) with the
-  conversion functions registered as native UDFs.
+  conversion functions registered as native UDFs,
+* :class:`ShardedBackend` — a tenant-partitioned *cluster* of either family,
+  executing queries by scatter-gather (see :mod:`repro.cluster`).
 
 Use :func:`create_backend` to build one by name (the spelling the
-``REPRO_BENCH_BACKEND`` environment variable uses).
+``REPRO_BENCH_BACKEND`` environment variable uses); sharded clusters spell
+the shard count and family in the name, e.g. ``"sharded:4"`` or
+``"sharded:2:sqlite"``.
 """
 
 from __future__ import annotations
@@ -26,20 +30,52 @@ from .base import (
     normalized_rows,
 )
 from .engine import EngineBackend, EngineConnection
+from .sharded import ShardedBackend, ShardedConnection
 from .sqlite import SQLiteBackend, SQLiteConnection
 
-BACKEND_NAMES = ("engine", "sqlite")
+BACKEND_NAMES = ("engine", "sqlite", "sharded")
 
 
 def create_backend(name: str, profile: str = "postgres") -> Backend:
-    """Instantiate a backend by name (``"engine"`` or ``"sqlite"``)."""
+    """Instantiate a backend by name.
+
+    ``"engine"`` and ``"sqlite"`` build a single backend; ``"sharded"``
+    builds a cluster — optionally with shard count and shard family, e.g.
+    ``"sharded:4"`` (four engine shards) or ``"sharded:2:sqlite"``.
+    """
     normalized = name.strip().lower()
     if normalized == "engine":
         return EngineBackend(profile=profile)
     if normalized == "sqlite":
         return SQLiteBackend(profile=profile)
+    if normalized == "sharded" or normalized.startswith("sharded:"):
+        return _create_sharded(normalized, profile)
     raise BackendError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )
+
+
+def _create_sharded(spec: str, profile: str) -> ShardedBackend:
+    """Parse a ``sharded[:N[:family]]`` spec into a :class:`ShardedBackend`."""
+    parts = spec.split(":")
+    shards = 2
+    family = "engine"
+    if len(parts) > 1 and parts[1]:
+        try:
+            shards = int(parts[1])
+        except ValueError as exc:
+            raise BackendError(
+                f"bad shard count in backend spec {spec!r}; expected "
+                f"sharded[:N[:family]]"
+            ) from exc
+    if len(parts) > 2 and parts[2]:
+        family = parts[2]
+        if family == "sharded" or family.startswith("sharded"):
+            raise BackendError("sharded clusters cannot nest")
+    return ShardedBackend(
+        shards=shards,
+        backend_factory=lambda: create_backend(family, profile=profile),
+        profile=profile,
     )
 
 
@@ -67,6 +103,8 @@ __all__ = [
     "EngineConnection",
     "SQLiteBackend",
     "SQLiteConnection",
+    "ShardedBackend",
+    "ShardedConnection",
     "as_backend_connection",
     "create_backend",
     "normalize_row",

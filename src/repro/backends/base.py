@@ -66,6 +66,22 @@ class BackendConnection(abc.ABC):
         """Execute a ``;``-separated script, returning one result per statement."""
         return [self.execute(statement) for statement in parse_statements(sql)]
 
+    def execute_scoped(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+    ) -> ExecuteResult:
+        """Execute a statement known to touch only the tenants in ``dataset``.
+
+        ``dataset`` is the resolved, pruned data set ``D'`` of the rewritten
+        statement — pure routing metadata, never a filter (the statement
+        already embeds its ttid predicates).  Single-database backends ignore
+        it; a sharded backend uses it to prune the shard fan-out (the
+        single-shard fast path).  ``None`` means "unknown", not "empty".
+        """
+        return self.execute(statement, parameters=parameters)
+
     def query(
         self, statement: Statement, parameters: Optional[Sequence[Any]] = None
     ) -> QueryResult:
@@ -106,9 +122,26 @@ class BackendConnection(abc.ABC):
         Returns a list of human-readable violation messages (empty = clean).
         """
 
+    def register_partitioned_table(
+        self,
+        table_name: str,
+        ttid_column: str,
+        local_key_columns: Sequence[str] = (),
+    ) -> None:
+        """Declare that ``table_name`` is horizontally partitioned by tenant.
+
+        The MTBase middleware calls this for every tenant-specific table it
+        creates, naming the invisible ttid column and the table's
+        tenant-specific (``SPECIFIC``) attributes — the columns whose values
+        never span tenants.  Single-database backends ignore the hint; a
+        sharded backend uses it to route loads and to plan scatter-gather
+        queries.
+        """
+
     # -- statistics / caches -------------------------------------------------
 
     def reset_stats(self) -> None:
+        """Zero the statement/UDF counters (between benchmark runs)."""
         self.stats.reset()
 
     def clear_function_caches(self) -> None:
@@ -168,6 +201,8 @@ _FLOAT_SIGNIFICANT_DIGITS = 12
 
 
 def normalize_value(value: Any, significant_digits: int = _FLOAT_SIGNIFICANT_DIGITS) -> Any:
+    """One value in cross-backend-comparable shape (dates → ISO text,
+    floats → ``significant_digits`` significant digits, bools → ints)."""
     if isinstance(value, bool):
         return int(value)
     if isinstance(value, float):
@@ -180,6 +215,7 @@ def normalize_value(value: Any, significant_digits: int = _FLOAT_SIGNIFICANT_DIG
 
 
 def normalize_row(row: Iterable[Any], significant_digits: int = _FLOAT_SIGNIFICANT_DIGITS) -> tuple:
+    """One row tuple with every value passed through :func:`normalize_value`."""
     return tuple(normalize_value(value, significant_digits) for value in row)
 
 

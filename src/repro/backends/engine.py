@@ -40,10 +40,12 @@ class EngineConnection(BackendConnection):
 
     @property
     def stats(self) -> ExecutionStats:  # type: ignore[override]
+        """The engine database's statement/UDF counters."""
         return self._database.stats
 
     @property
     def profile(self):
+        """The UDF-caching profile ("postgres" caches, "system_c" does not)."""
         return self._database.profile
 
     def __getattr__(self, attribute: str):
@@ -56,6 +58,7 @@ class EngineConnection(BackendConnection):
     def execute(
         self, statement: Statement, parameters: Optional[Sequence[Any]] = None
     ) -> ExecuteResult:
+        """Execute on the in-memory engine (parameters bound as literals)."""
         if parameters:
             if isinstance(statement, str):
                 statement = parse_statement(statement)
@@ -67,30 +70,37 @@ class EngineConnection(BackendConnection):
     def register_python_function(
         self, name: str, fn: Callable[..., Any], immutable: bool = False
     ) -> None:
+        """Register a Python-backed scalar UDF in the engine catalog."""
         self._database.register_python_function(name, fn, immutable=immutable)
 
     def register_sql_function(
         self, name: str, body: str, immutable: bool = False
     ) -> None:
+        """Register a SQL-bodied scalar UDF in the engine catalog."""
         self._database.register_sql_function(name, body, immutable=immutable)
 
     # -- bulk load / metadata ------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: list[tuple]) -> int:
+        """Bulk-load rows straight into the engine's storage layer."""
         return self._database.insert_rows(table_name, rows)
 
     def table_rowcount(self, table_name: str) -> int:
+        """Current row count of ``table_name``."""
         return self._database.table_rowcount(table_name)
 
     def check_integrity(self) -> list[str]:
+        """Run the engine's PK/FK validation over every table."""
         return self._database.check_integrity()
 
     # -- statistics / caches -------------------------------------------------
 
     def reset_stats(self) -> None:
+        """Zero the engine's statement/UDF counters."""
         self._database.reset_stats()
 
     def clear_function_caches(self) -> None:
+        """Drop the engine's memoized immutable-UDF results."""
         self._database.clear_function_caches()
 
 
@@ -109,6 +119,7 @@ class EngineBackend(Backend):
         self._connection = EngineConnection(self.database)
 
     def connect(self) -> EngineConnection:
+        """The shared connection to this backend's in-memory database."""
         return self._connection
 
 

@@ -1,0 +1,667 @@
+"""A tenant-partitioned cluster of backends behind the ordinary protocol.
+
+:class:`ShardedBackend` owns N *shards* — each a complete
+:class:`~repro.backends.base.Backend` (engine, SQLite, ...) — and presents
+them as one :class:`~repro.backends.base.BackendConnection`, so the MTBase
+middleware and the gateway work over a cluster unchanged:
+
+* **DDL and UDF registrations broadcast** to every shard (each shard holds
+  the full physical schema and the conversion functions),
+* **global tables replicate**: inserts into non-partitioned tables land on
+  every shard, so joins against them stay shard-local,
+* **tenant-specific rows route** by the placement policy: each owned row
+  lives on exactly one shard (bulk loads and rewritten per-owner INSERTs),
+* **queries scatter-gather** through the :mod:`repro.cluster` planner and
+  coordinator: single-shard fast path when ``D'`` lands on one shard, UNION
+  merging for row streams, partial-aggregate re-aggregation for aggregate
+  queries, and a *federated* fallback — pull the referenced base rows into a
+  scratch backend and execute there — for queries that do not decompose.
+
+The federated fallback is what makes the cluster exact rather than
+approximate: `tests/cluster/test_shard_invariance.py` proves every MT-H
+query row-set-identical to a single backend for shards ∈ {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..cluster.coordinator import ShardCoordinator
+from ..cluster.merge import default_scalar_functions
+from ..cluster.placement import HashPlacement, PlacementPolicy
+from ..cluster.planner import (
+    ClusterCatalog,
+    ClusterPlanner,
+    FederatedPlan,
+    PartitionInfo,
+    Plan,
+)
+from ..errors import ClusterError
+from ..result import ExecuteResult, ExecutionStats, StatementResult
+from ..sql import ast
+from ..sql.dialect import Dialect
+from ..sql.parser import parse_statement
+from .base import Backend, BackendConnection, Statement
+
+
+@dataclass(frozen=True)
+class _TableSchema:
+    """Column order of one physical table (for routing column-less INSERTs)."""
+
+    name: str
+    columns: tuple[str, ...]
+
+
+class _ClusterDialect:
+    """The shard dialect with a cluster-distinct name.
+
+    Rewritten plans cached by the gateway are keyed on the dialect *name*; a
+    sharded connection must never share cache accounting with a plain
+    connection of the same dialect, so the name carries the shard count.
+    Everything else delegates to the shards' real dialect.
+    """
+
+    def __init__(self, inner: Dialect, shard_count: int) -> None:
+        self._inner = inner
+        self.name = f"{inner.name}+{shard_count}sh"
+
+    def __getattr__(self, attribute: str) -> Any:
+        return getattr(self._inner, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"_ClusterDialect({self.name!r})"
+
+
+class ShardedConnection(BackendConnection):
+    """One logical connection fanning out over the cluster's shards."""
+
+    name = "sharded"
+
+    def __init__(self, backend: "ShardedBackend") -> None:
+        self._backend = backend
+        self._shards: list[BackendConnection] = [
+            shard.connect() for shard in backend.shards
+        ]
+        self.placement = backend.placement
+        self.dialect = _ClusterDialect(self._shards[0].dialect, len(self._shards))
+        self.stats = ExecutionStats()
+        self.catalog = ClusterCatalog()
+        self._merge_functions = default_scalar_functions()
+        self.planner = ClusterPlanner(
+            self.catalog,
+            scatter_gather=backend.scatter_gather,
+            functions=self._merge_functions,
+        )
+        self.coordinator = ShardCoordinator(
+            self._shards, functions=self._merge_functions
+        )
+        #: the most recent query plan, for tests/examples/monitoring
+        self.last_plan: Optional[Plan] = None
+        self._tables: dict[str, _TableSchema] = {}
+        self._ddl_log: list[ast.Statement] = []
+        self._udf_log: list[tuple[str, str, Any, bool]] = []
+        self._udf_support_tables: Optional[set[str]] = None
+        self._scratch: Optional[BackendConnection] = None
+        self._scratch_backend: Optional[Backend] = None
+        #: per-table scratch freshness: the D' it was last synced for
+        #: (``None`` = a full copy); absent = stale, must be re-pulled
+        self._scratch_state: dict[str, Optional[frozenset[int]]] = {}
+        self._lock = threading.RLock()
+
+    # -- shard access ---------------------------------------------------------
+
+    @property
+    def shard_connections(self) -> tuple[BackendConnection, ...]:
+        """The per-shard connections, in shard order."""
+        return tuple(self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards in the cluster."""
+        return len(self._shards)
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(
+        self, statement: Statement, parameters: Optional[Sequence[Any]] = None
+    ) -> ExecuteResult:
+        """Execute one statement on the cluster (scatter-gather for SELECTs)."""
+        return self.execute_scoped(statement, dataset=None, parameters=parameters)
+
+    def execute_scoped(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+    ) -> ExecuteResult:
+        """Execute a statement, pruning the shard fan-out to ``dataset``'s shards."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        self.stats.add(statements=1)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, dataset, parameters)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, parameters)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return self._execute_update_delete(statement, parameters)
+        if isinstance(
+            statement,
+            (ast.CreateTable, ast.CreateView, ast.CreateFunction, ast.DropTable, ast.DropView),
+        ):
+            return self._execute_ddl(statement)
+        raise ClusterError(
+            f"the sharded backend cannot execute {type(statement).__name__} statements"
+        )
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _execute_select(
+        self,
+        statement: ast.Select,
+        dataset: Optional[Sequence[int]],
+        parameters: Optional[Sequence[Any]],
+    ) -> ExecuteResult:
+        shards = self.placement.shards_for(dataset)
+        plan = self.planner.plan(statement, shards)
+        self.last_plan = plan
+        if isinstance(plan, FederatedPlan):
+            return self._execute_federated(plan, dataset, parameters)
+        return self.coordinator.execute(plan, parameters)
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _execute_ddl(self, statement: ast.Statement) -> ExecuteResult:
+        with self._lock:
+            if isinstance(statement, ast.CreateTable):
+                self._tables[statement.name.lower()] = _TableSchema(
+                    name=statement.name,
+                    columns=tuple(column.name for column in statement.columns),
+                )
+                self.catalog.relations.add(statement.name.lower())
+            elif isinstance(statement, ast.CreateView):
+                self.catalog.views.add(statement.name.lower())
+            elif isinstance(statement, ast.DropTable):
+                self._tables.pop(statement.name.lower(), None)
+                self.catalog.relations.discard(statement.name.lower())
+                self.catalog.partitioned.pop(statement.name.lower(), None)
+                self._scratch_state.pop(statement.name.lower(), None)
+            elif isinstance(statement, ast.DropView):
+                self.catalog.views.discard(statement.name.lower())
+            elif isinstance(statement, ast.CreateFunction):
+                # a SQL-bodied function reads tables the query text never
+                # names; recompute the federated sync set lazily
+                self._udf_support_tables = None
+            self._ddl_log.append(statement)
+            result: ExecuteResult = StatementResult(type(statement).__name__)
+            for shard in self._shards:
+                result = shard.execute(statement)
+            if self._scratch is not None:
+                self._scratch.execute(statement)
+            return result
+
+    def register_partitioned_table(
+        self,
+        table_name: str,
+        ttid_column: str,
+        local_key_columns: Sequence[str] = (),
+    ) -> None:
+        """Record the partitioning of a tenant-specific table (middleware hook)."""
+        with self._lock:
+            self.catalog.partitioned[table_name.lower()] = PartitionInfo(
+                table=table_name,
+                ttid_column=ttid_column,
+                local_keys=frozenset(column.lower() for column in local_key_columns),
+            )
+
+    # -- DML ------------------------------------------------------------------
+
+    def _execute_insert(
+        self, statement: ast.Insert, parameters: Optional[Sequence[Any]]
+    ) -> ExecuteResult:
+        if statement.query is not None:
+            raise ClusterError(
+                "INSERT ... SELECT cannot be routed by the sharded backend; "
+                "the middleware materializes it into per-owner VALUES first"
+            )
+        self._mark_scratch_stale(statement.table)
+        info = self.catalog.partitioned.get(statement.table.lower())
+        if info is None:
+            # global table: replicate on every shard
+            result: ExecuteResult = StatementResult("INSERT")
+            for shard in self._shards:
+                result = shard.execute(statement, parameters=parameters)
+            return result
+        ttid_index = self._ttid_index(statement, info)
+        routed: dict[int, list[tuple]] = {}
+        for row in statement.rows:
+            ttid_value = row[ttid_index]
+            if not isinstance(ttid_value, ast.Literal) or ttid_value.value is None:
+                raise ClusterError(
+                    f"cannot route INSERT into {statement.table!r}: the "
+                    f"{info.ttid_column} value must be a literal"
+                )
+            shard = self.placement.shard_of(int(ttid_value.value))
+            routed.setdefault(shard, []).append(row)
+        total = 0
+        for shard, rows in sorted(routed.items()):
+            shard_statement = ast.Insert(
+                table=statement.table, columns=statement.columns, rows=rows
+            )
+            total += self._shards[shard].execute(
+                shard_statement, parameters=parameters
+            ).rowcount
+        return StatementResult("INSERT", rowcount=total)
+
+    def _ttid_index(self, statement: ast.Insert, info: PartitionInfo) -> int:
+        target = info.ttid_column.lower()
+        if statement.columns:
+            for index, column in enumerate(statement.columns):
+                if column.lower() == target:
+                    return index
+            raise ClusterError(
+                f"cannot route INSERT into {statement.table!r}: the column list "
+                f"omits the {info.ttid_column} column"
+            )
+        schema = self._tables.get(statement.table.lower())
+        if schema is None:
+            raise ClusterError(
+                f"cannot route INSERT into unknown table {statement.table!r}"
+            )
+        for index, column in enumerate(schema.columns):
+            if column.lower() == target:
+                return index
+        raise ClusterError(  # pragma: no cover - schema always has the ttid
+            f"table {statement.table!r} has no {info.ttid_column} column"
+        )
+
+    def _execute_update_delete(
+        self,
+        statement: Union[ast.Update, ast.Delete],
+        parameters: Optional[Sequence[Any]],
+    ) -> ExecuteResult:
+        from ..sql.transform import referenced_table_names
+
+        partitioned = self.catalog.is_partitioned(statement.table)
+        kind = "UPDATE" if isinstance(statement, ast.Update) else "DELETE"
+        info = self.catalog.partitioned.get(statement.table.lower())
+        if info is not None and isinstance(statement, ast.Update):
+            # moving a row between tenants would strand it on the old
+            # tenant's shard, breaking the placement invariant for good
+            for assignment in statement.assignments:
+                if assignment.column.lower() == info.ttid_column.lower():
+                    raise ClusterError(
+                        f"UPDATE must not reassign the partitioning column "
+                        f"{info.ttid_column!r} of {statement.table!r}; delete "
+                        f"and re-insert under the new owner instead"
+                    )
+        if not partitioned:
+            # a replicated target whose predicate reads partitioned tables
+            # (directly or through a view) would evaluate the sub-query per
+            # shard against that shard's partition only, silently diverging
+            # the replicas
+            references = referenced_table_names(statement) - {statement.table.lower()}
+            touched = sorted(
+                name
+                for name in references
+                if name in self.catalog.partitioned or name in self.catalog.views
+            )
+            if touched:
+                raise ClusterError(
+                    f"{kind} on replicated table {statement.table!r} references "
+                    f"partitioned table(s) or view(s) {touched}; per-shard "
+                    f"evaluation would diverge the replicas — run it per tenant "
+                    f"or against a single backend"
+                )
+        self._check_dml_decomposes(statement, kind)
+        self._mark_scratch_stale(statement.table)
+        total = 0
+        first: Optional[int] = None
+        for shard in self._shards:
+            rowcount = shard.execute(statement, parameters=parameters).rowcount
+            total += rowcount
+            if first is None:
+                first = rowcount
+        # partitioned rows exist once across the cluster (sum); global rows
+        # are replicas — report one copy's count like a single backend would
+        return StatementResult(kind, rowcount=total if partitioned else (first or 0))
+
+    def _check_dml_decomposes(
+        self, statement: Union[ast.Update, ast.Delete], kind: str
+    ) -> None:
+        """Reject DML whose per-shard evaluation is not the global evaluation.
+
+        Broadcasting is only sound when every sub-query in the predicate (and
+        in UPDATE assignment values) is shard-local by the planner's rules —
+        global-only, or probing tenant-local keys.  A cross-shard sub-query
+        (e.g. ``WHERE x < (SELECT AVG(x) FROM t)`` over a partitioned ``t``)
+        would mutate different rows per shard; there is no federated write
+        path, so the statement is refused rather than silently corrupted.
+        """
+        if len(self._shards) == 1:
+            return
+        probe_items = (
+            [ast.SelectItem(expr=assignment.value) for assignment in statement.assignments]
+            if isinstance(statement, ast.Update)
+            else [ast.SelectItem(expr=ast.Star())]
+        ) or [ast.SelectItem(expr=ast.Star())]
+        probe = ast.Select(
+            items=probe_items,
+            from_items=[ast.TableRef(name=statement.table)],
+            where=statement.where,
+        )
+        if not self.planner._stream_info(probe).ok:
+            raise ClusterError(
+                f"{kind} on {statement.table!r} uses a sub-query that needs "
+                f"cross-shard data; per-shard evaluation would mutate the "
+                f"wrong rows — rewrite it per tenant or run it against a "
+                f"single backend"
+            )
+
+    # -- federated fallback ----------------------------------------------------
+
+    def _execute_federated(
+        self,
+        plan: FederatedPlan,
+        dataset: Optional[Sequence[int]],
+        parameters: Optional[Sequence[Any]],
+    ) -> ExecuteResult:
+        with self._lock:
+            scratch = self._ensure_scratch()
+            if plan.tables is None:
+                tables = set(self.catalog.relations)
+            else:
+                # SQL-bodied UDFs (the Listings-4-7 conversion functions) read
+                # meta tables the query text never names; sync those too
+                tables = set(plan.tables) | self._sql_udf_tables()
+            for table in sorted(tables):
+                self._sync_scratch_table(scratch, table, dataset)
+            return scratch.execute(plan.statement, parameters=parameters)
+
+    def _sql_udf_tables(self) -> set[str]:
+        """Tables referenced by SQL UDF bodies (registered *or* DDL-created)."""
+        if self._udf_support_tables is None:
+            from ..sql.parser import parse_query
+            from ..sql.transform import referenced_table_names
+
+            bodies = [
+                payload
+                for kind, _name, payload, _immutable in self._udf_log
+                if kind == "sql"
+            ]
+            bodies.extend(
+                statement.body
+                for statement in self._ddl_log
+                if isinstance(statement, ast.CreateFunction)
+                and statement.language.upper() == "SQL"
+            )
+            support: set[str] = set()
+            for body in bodies:
+                support |= referenced_table_names(parse_query(body))
+            self._udf_support_tables = support & self.catalog.relations
+        return self._udf_support_tables
+
+    def _ensure_scratch(self) -> BackendConnection:
+        """The lazily-created merge backend, with the cluster's DDL/UDFs replayed."""
+        if self._scratch is None:
+            self._scratch_backend = self._backend.create_shard_backend()
+            self._scratch = self._scratch_backend.connect()
+            for statement in self._ddl_log:
+                self._scratch.execute(statement)
+            for kind, name, payload, immutable in self._udf_log:
+                if kind == "python":
+                    self._scratch.register_python_function(
+                        name, payload, immutable=immutable
+                    )
+                else:
+                    self._scratch.register_sql_function(
+                        name, payload, immutable=immutable
+                    )
+        return self._scratch
+
+    def _sync_scratch_table(
+        self,
+        scratch: BackendConnection,
+        table: str,
+        dataset: Optional[Sequence[int]],
+    ) -> None:
+        """Refresh one scratch table from the shards (``D'``-pruned when known).
+
+        Skipped when the previous sync still covers this request: a full copy
+        serves any ``D'`` (the federated statement carries its own ttid
+        predicates whenever ``D'`` is not "all tenants"), a pruned copy only
+        the identical one.  Mutations drop the entry via
+        :meth:`_mark_scratch_stale`.
+        """
+        key = table.lower()
+        info = self.catalog.partitioned.get(key)
+        want: Optional[frozenset[int]] = (
+            None
+            if info is None or dataset is None
+            else frozenset(int(ttid) for ttid in dataset)
+        )
+        if key in self._scratch_state:
+            have = self._scratch_state[key]
+            if have is None or have == want:
+                return
+        scratch.execute(ast.Delete(table=table))
+        pull: ast.Select = ast.Select(
+            items=[ast.SelectItem(expr=ast.Star())],
+            from_items=[ast.TableRef(name=table)],
+        )
+        if info is None:
+            rows = list(self._shards[0].query(pull).rows)
+        else:
+            sources = (
+                range(len(self._shards))
+                if dataset is None
+                else self.placement.shards_for(dataset)
+            )
+            if dataset is not None:
+                pull.where = ast.InList(
+                    expr=ast.Column(name=info.ttid_column),
+                    items=tuple(ast.Literal(int(ttid)) for ttid in dataset),
+                )
+            rows = []
+            for shard in sources:
+                rows.extend(self._shards[shard].query(pull).rows)
+        if rows:
+            scratch.insert_rows(table, rows)
+        self._scratch_state[key] = want
+
+    def _mark_scratch_stale(self, table: str) -> None:
+        """Force the next federated query to re-pull ``table``."""
+        with self._lock:
+            self._scratch_state.pop(table.lower(), None)
+
+    # -- UDF registration ------------------------------------------------------
+
+    def register_python_function(
+        self, name: str, fn: Callable[..., Any], immutable: bool = False
+    ) -> None:
+        """Register a Python UDF on every shard (and the scratch backend).
+
+        The callable also joins the coordinator's merge-function registry, so
+        post-aggregation calls (the optimizer's inlined conversion rates) can
+        be evaluated after gathering without another backend round-trip.
+        """
+        with self._lock:
+            self._udf_log.append(("python", name, fn, immutable))
+            self._merge_functions[name.lower()] = fn
+            for shard in self._shards:
+                shard.register_python_function(name, fn, immutable=immutable)
+            if self._scratch is not None:
+                self._scratch.register_python_function(name, fn, immutable=immutable)
+
+    def register_sql_function(
+        self, name: str, body: str, immutable: bool = False
+    ) -> None:
+        """Register a SQL-bodied UDF on every shard (and the scratch backend)."""
+        with self._lock:
+            self._udf_log.append(("sql", name, body, immutable))
+            self._udf_support_tables = None  # recompute the sync set lazily
+            for shard in self._shards:
+                shard.register_sql_function(name, body, immutable=immutable)
+            if self._scratch is not None:
+                self._scratch.register_sql_function(name, body, immutable=immutable)
+
+    # -- bulk load / metadata --------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: list[tuple]) -> int:
+        """Bulk-load rows: routed by ttid for partitioned tables, else replicated."""
+        self._mark_scratch_stale(table_name)
+        info = self.catalog.partitioned.get(table_name.lower())
+        if info is None:
+            for shard in self._shards:
+                shard.insert_rows(table_name, rows)
+            return len(rows)
+        schema = self._tables.get(table_name.lower())
+        if schema is None:
+            raise ClusterError(f"cannot bulk-load unknown table {table_name!r}")
+        target = info.ttid_column.lower()
+        ttid_index = next(
+            index
+            for index, column in enumerate(schema.columns)
+            if column.lower() == target
+        )
+        routed: dict[int, list[tuple]] = {}
+        for row in rows:
+            routed.setdefault(
+                self.placement.shard_of(int(row[ttid_index])), []
+            ).append(row)
+        for shard, shard_rows in sorted(routed.items()):
+            self._shards[shard].insert_rows(table_name, shard_rows)
+        return len(rows)
+
+    def table_rowcount(self, table_name: str) -> int:
+        """Logical row count: summed for partitioned tables, one replica else."""
+        if self.catalog.is_partitioned(table_name):
+            return sum(shard.table_rowcount(table_name) for shard in self._shards)
+        return self._shards[0].table_rowcount(table_name)
+
+    def check_integrity(self) -> list[str]:
+        """Integrity violations of every shard, prefixed with the shard id."""
+        violations: list[str] = []
+        for index, shard in enumerate(self._shards):
+            violations.extend(
+                f"shard {index}: {message}" for message in shard.check_integrity()
+            )
+        return violations
+
+    # -- statistics / caches ---------------------------------------------------
+
+    def aggregate_stats(self) -> ExecutionStats:
+        """Sum of the shard (and scratch) counters, as a plain snapshot."""
+        total = ExecutionStats()
+        connections = list(self._shards)
+        if self._scratch is not None:
+            connections.append(self._scratch)
+        for connection in connections:
+            stats = connection.stats
+            total.add(
+                udf_calls=stats.udf_calls,
+                udf_executions=stats.udf_executions,
+                udf_cache_hits=stats.udf_cache_hits,
+                subquery_runs=stats.subquery_runs,
+                statements=stats.statements,
+            )
+        return total
+
+    def reset_stats(self) -> None:
+        """Reset the coordinator's and every shard's counters."""
+        self.stats.reset()
+        for shard in self._shards:
+            shard.reset_stats()
+        if self._scratch is not None:
+            self._scratch.reset_stats()
+
+    def clear_function_caches(self) -> None:
+        """Drop memoized UDF results on every shard (and the scratch backend)."""
+        for shard in self._shards:
+            shard.clear_function_caches()
+        if self._scratch is not None:
+            self._scratch.clear_function_caches()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the coordinator pool (backends are closed by the factory)."""
+        self.coordinator.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"ShardedConnection(shards={len(self._shards)}, "
+            f"placement={self.placement!r}, dialect={self.dialect.name!r})"
+        )
+
+
+class ShardedBackend(Backend):
+    """A cluster of N identical backends presented as one backend.
+
+    ``shards`` picks the shard count (default 2), ``backend_factory`` builds
+    each shard (default: a fresh in-memory engine per shard with ``profile``),
+    and ``placement`` assigns tenants to shards
+    (:class:`~repro.cluster.placement.HashPlacement` by default).  The
+    factory is also used for the federated scratch backend, so every member
+    of the cluster speaks the same dialect.
+
+    ``scatter_gather=False`` disables the decomposed strategies and forces
+    every multi-shard query through the (always-correct) federated path —
+    the escape hatch for workloads that join tenant-specific rows of
+    different tenants on non-key attributes, where the planner's co-location
+    assumption does not hold.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        backend_factory: Optional[Callable[[], Backend]] = None,
+        placement: Optional[PlacementPolicy] = None,
+        profile: str = "postgres",
+        scatter_gather: bool = True,
+    ) -> None:
+        if placement is None:
+            placement = HashPlacement(shards if shards is not None else 2)
+        elif shards is not None and shards != placement.shard_count:
+            raise ClusterError(
+                f"shards={shards} contradicts the placement policy's "
+                f"shard_count={placement.shard_count}"
+            )
+        self.placement = placement
+        self.scatter_gather = scatter_gather
+        if backend_factory is None:
+            from .engine import EngineBackend
+
+            backend_factory = lambda: EngineBackend(profile=profile)  # noqa: E731
+        self._backend_factory = backend_factory
+        self.shards: list[Backend] = [
+            backend_factory() for _ in range(placement.shard_count)
+        ]
+        self._scratch_backends: list[Backend] = []
+        self.dialect = self.shards[0].dialect
+        self._connection = ShardedConnection(self)
+
+    def create_shard_backend(self) -> Backend:
+        """Build one more backend of the cluster's family (scratch storage)."""
+        backend = self._backend_factory()
+        self._scratch_backends.append(backend)
+        return backend
+
+    def connect(self) -> ShardedConnection:
+        """The cluster's single logical connection."""
+        return self._connection
+
+    def close(self) -> None:
+        """Close the coordinator, every shard and any scratch backends."""
+        self._connection.close()
+        for backend in self.shards + self._scratch_backends:
+            backend.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"ShardedBackend(shards={len(self.shards)}, "
+            f"family={self.shards[0].name!r}, placement={self.placement!r})"
+        )

@@ -136,6 +136,7 @@ class SQLiteConnection(BackendConnection):
     def execute(
         self, statement: Statement, parameters: Optional[Sequence[Any]] = None
     ) -> ExecuteResult:
+        """Render the statement in the SQLite dialect and execute it."""
         if isinstance(statement, str):
             statement = parse_statement(statement)
         parameters = tuple(_to_sqlite(value) for value in (parameters or ()))
@@ -257,6 +258,7 @@ class SQLiteConnection(BackendConnection):
     def register_python_function(
         self, name: str, fn: Callable[..., Any], immutable: bool = False
     ) -> None:
+        """Register a Python scalar UDF via ``sqlite3.create_function``."""
         wrapper = _RegisteredFunction(
             name,
             fn,
@@ -296,6 +298,7 @@ class SQLiteConnection(BackendConnection):
     # -- bulk load / metadata ------------------------------------------------
 
     def insert_rows(self, table_name: str, rows: list[tuple]) -> int:
+        """Bulk-load rows with one parameterized ``executemany``."""
         if not rows:
             return 0
         with self._lock:
@@ -321,6 +324,7 @@ class SQLiteConnection(BackendConnection):
             return len(rows)
 
     def table_rowcount(self, table_name: str) -> int:
+        """Current row count of ``table_name`` (a ``COUNT(*)`` round-trip)."""
         with self._lock:
             self._ensure_open()
             quoted = self.dialect.quote_identifier(table_name)
@@ -387,6 +391,7 @@ class SQLiteConnection(BackendConnection):
     # -- statistics / caches -------------------------------------------------
 
     def clear_function_caches(self) -> None:
+        """Drop the memoized results of every registered immutable UDF."""
         with self._lock:
             for function in self._functions.values():
                 function.clear_cache()
@@ -398,6 +403,7 @@ class SQLiteConnection(BackendConnection):
             raise BackendError("this sqlite backend connection is closed")
 
     def close(self) -> None:
+        """Close both sqlite3 connections and delete an owned temp file."""
         with self._lock:
             if self._closed:
                 return
@@ -436,9 +442,11 @@ class SQLiteBackend(Backend):
         self._connection = SQLiteConnection(path, profile, owns_file=owns_file)
 
     def connect(self) -> SQLiteConnection:
+        """The shared connection to this backend's database file."""
         return self._connection
 
     def close(self) -> None:
+        """Close the connection (removing the temp database if owned)."""
         self._connection.close()
 
 

@@ -2,6 +2,12 @@
 
 from .reporting import format_seconds, render_relative_table, render_scaling, render_table
 from .scaling import DEFAULT_TENANT_COUNTS, ScalingPoint, ScalingResult, run_tenant_scaling
+from .sharding import (
+    DEFAULT_SHARD_COUNTS,
+    ShardScalingPoint,
+    ShardScalingResult,
+    run_shard_scaling,
+)
 from .tables import (
     LEVEL_ORDER,
     TABLE_CONFIGS,
@@ -22,6 +28,10 @@ __all__ = [
     "TABLE_CONFIGS",
     "LEVEL_ORDER",
     "DEFAULT_TENANT_COUNTS",
+    "DEFAULT_SHARD_COUNTS",
+    "ShardScalingPoint",
+    "ShardScalingResult",
+    "run_shard_scaling",
     "Workload",
     "WorkloadConfig",
     "load_workload",

@@ -1,0 +1,147 @@
+"""Shard-count scaling experiment: cross-tenant MT-H on growing clusters.
+
+The paper's tenant-scaling experiments (Figures 5 and 6) stop at what one
+backend can hold; this suite measures the next layer — the same cross-tenant
+workload executed by scatter-gather over 1, 2, 4, ... shards, reported
+relative to the single-backend response time on the same data.  Three query
+classes behave differently and are all represented in the default set:
+
+* **scatter-gather aggregates** (Q1, Q3, Q6, Q12, Q18) — the shards do the
+  heavy scan/aggregate work on 1/N of the tenant rows,
+* **single-shard residents** (Q11) — global-table queries, unaffected,
+* **federated fallbacks** (Q22) — the price of a non-decomposable query.
+
+The companion single-tenant point (``D' = single``) exercises the
+single-shard fast path: routing one tenant's query to its shard should cost
+no more than the single-backend execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..mth.dbgen import TPCHData, generate
+from ..mth.loader import MTHInstance, load_mth
+from ..mth.queries import query_text
+from .tables import time_query
+from .workload import env_scale_factor
+
+#: shard counts swept by default (1 = cluster overhead vs. a bare backend)
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+#: default query set: scatter-gather (1, 3, 6, 12, 18), single-shard (11),
+#: federated (22)
+DEFAULT_QUERY_IDS = (1, 3, 6, 11, 12, 18, 22)
+
+
+@dataclass
+class ShardScalingPoint:
+    """One measured point of a shard-count scaling curve."""
+
+    query_id: int
+    shards: int
+    dataset: str
+    seconds: float
+    single_seconds: float
+    plan: str
+
+    @property
+    def relative(self) -> float:
+        """Response time relative to the single-backend execution."""
+        if self.single_seconds == 0:
+            return float("nan")
+        return self.seconds / self.single_seconds
+
+
+@dataclass
+class ShardScalingResult:
+    """All points of one shard-count scaling run."""
+
+    distribution: str
+    scale_factor: float
+    tenants: int
+    points: list[ShardScalingPoint] = field(default_factory=list)
+
+    def series(self, query_id: int, dataset: str = "all") -> list[tuple[int, float]]:
+        """``(shards, relative time)`` pairs for one query, sorted by shards."""
+        return sorted(
+            (point.shards, point.relative)
+            for point in self.points
+            if point.query_id == query_id and point.dataset == dataset
+        )
+
+    def rows(self) -> list[dict]:
+        """Flat dict rows for reporting."""
+        return [
+            {
+                "query": point.query_id,
+                "shards": point.shards,
+                "dataset": point.dataset,
+                "seconds": point.seconds,
+                "relative": point.relative,
+                "plan": point.plan,
+            }
+            for point in self.points
+        ]
+
+
+def run_shard_scaling(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    query_ids: Sequence[int] = DEFAULT_QUERY_IDS,
+    scale_factor: Optional[float] = None,
+    tenants: int = 8,
+    distribution: str = "uniform",
+    seed: int = 20180326,
+    repetitions: int = 1,
+    data: Optional[TPCHData] = None,
+) -> ShardScalingResult:
+    """Measure the shard-count scaling curves for the given query set.
+
+    The same generated data is loaded once per shard count (plus once into a
+    single backend as the reference); every query runs with ``D' = all`` and
+    once with ``D' = {1}`` to exercise the single-shard fast path.
+    """
+    scale = env_scale_factor(scale_factor if scale_factor is not None else 0.002)
+    if data is None:
+        data = generate(scale_factor=scale, seed=seed)
+    single = load_mth(data=data, tenants=tenants, distribution=distribution)
+    result = ShardScalingResult(
+        distribution=distribution, scale_factor=data.scale_factor, tenants=tenants
+    )
+    single_times = {
+        (query_id, dataset): _time(single, query_id, dataset, repetitions)
+        for query_id in query_ids
+        for dataset in ("all", "single")
+    }
+    for shard_count in shard_counts:
+        cluster = load_mth(
+            data=data, tenants=tenants, distribution=distribution, shards=shard_count
+        )
+        for query_id in query_ids:
+            for dataset in ("all", "single"):
+                seconds = _time(cluster, query_id, dataset, repetitions)
+                plan = cluster.middleware.backend.last_plan
+                result.points.append(
+                    ShardScalingPoint(
+                        query_id=query_id,
+                        shards=shard_count,
+                        dataset=dataset,
+                        seconds=seconds,
+                        single_seconds=single_times[(query_id, dataset)],
+                        plan=plan.describe() if plan is not None else "?",
+                    )
+                )
+        cluster.middleware.backend.close()
+    return result
+
+
+def _time(
+    instance: MTHInstance, query_id: int, dataset: str, repetitions: int
+) -> float:
+    connection = instance.middleware.connect(1, optimization="o4")
+    connection.set_scope("IN ()" if dataset == "all" else "IN (1)")
+    text = query_text(query_id)
+    instance.backend.clear_function_caches()
+    instance.backend.reset_stats()
+    return time_query(lambda: connection.query(text), repetitions=repetitions)

@@ -153,7 +153,10 @@ def run_table(
             workload.reset_caches()
             backend = workload.backend
             seconds = time_query(lambda: connection.query(text), repetitions)
-            stats = backend.stats
+            # a sharded cluster counts UDF calls on its shards, not the
+            # coordinator; aggregate_stats() sums them (plain backends lack it)
+            aggregate = getattr(backend, "aggregate_stats", None)
+            stats = aggregate() if aggregate is not None else backend.stats
             result.cells[(level.value, query_id)] = Measurement(
                 query_id=query_id,
                 level=level.value,

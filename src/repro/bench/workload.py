@@ -51,12 +51,39 @@ def env_backend(default: str = "engine") -> str:
     value = os.environ.get("REPRO_BENCH_BACKEND", "").strip().lower()
     if not value:
         return default
-    if value not in BACKEND_NAMES:
+    if value.split(":")[0] not in BACKEND_NAMES:
         raise ConfigurationError(
             f"the REPRO_BENCH_BACKEND environment variable must be one of "
             f"{', '.join(BACKEND_NAMES)}, got {value!r}"
         )
     return value
+
+
+def env_shards(default: int = 0) -> int:
+    """Shard-count override via ``REPRO_BENCH_SHARDS``.
+
+    A positive value loads the MT-H side of every workload onto a
+    tenant-partitioned cluster of that many backends (of the
+    ``REPRO_BENCH_BACKEND`` family); ``0`` (the default) keeps the single
+    backend.  The TPC-H baseline is never sharded — the paper's unit of
+    measure is "relative to single-backend TPC-H on the same data".
+    """
+    value = os.environ.get("REPRO_BENCH_SHARDS", "").strip()
+    if not value:
+        return default
+    try:
+        shards = int(value)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"the REPRO_BENCH_SHARDS environment variable must be a "
+            f"non-negative integer shard count, got {value!r}"
+        ) from exc
+    if shards < 0:
+        raise ConfigurationError(
+            f"the REPRO_BENCH_SHARDS environment variable must be a "
+            f"non-negative integer shard count, got {value!r}"
+        )
+    return shards
 
 
 @dataclass
@@ -69,9 +96,12 @@ class WorkloadConfig:
     profile: str = "postgres"
     seed: int = 20180326
     backend: str = field(default_factory=env_backend)
+    #: 0 = single backend; N > 0 = N-shard tenant-partitioned cluster
+    shards: int = field(default_factory=env_shards)
 
     @classmethod
     def scenario1(cls, profile: str = "postgres", scale_factor: Optional[float] = None) -> "WorkloadConfig":
+        """§6.2's business alliance: 10 tenants, uniform shares."""
         return cls(
             scale_factor=env_scale_factor(scale_factor if scale_factor is not None else 0.002),
             tenants=10,
@@ -83,6 +113,7 @@ class WorkloadConfig:
     def scenario2(
         cls, tenants: int, profile: str = "postgres", scale_factor: Optional[float] = None
     ) -> "WorkloadConfig":
+        """The research-institution scenario: zipfian shares, swept tenant counts."""
         return cls(
             scale_factor=env_scale_factor(scale_factor if scale_factor is not None else 0.002),
             tenants=tenants,
@@ -103,6 +134,7 @@ class Workload:
 
     @property
     def middleware(self) -> MTBase:
+        """The MT-H instance's MTBase middleware."""
         return self.mth.middleware
 
     @property
@@ -165,17 +197,34 @@ def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
         config.profile,
         config.seed,
         config.backend,
+        config.shards,
     )
     if use_cache and key in _WORKLOAD_CACHE:
         return _WORKLOAD_CACHE[key]
     data = generate(scale_factor=config.scale_factor, seed=config.seed)
-    mth = load_mth(
-        data=data,
-        tenants=config.tenants,
-        distribution=config.distribution,
-        profile=config.profile,
-        backend=create_backend(config.backend, profile=config.profile),
-    )
+    if config.shards:
+        if config.backend.startswith("sharded"):
+            raise ConfigurationError(
+                "REPRO_BENCH_SHARDS shards the chosen backend family; "
+                "combine it with REPRO_BENCH_BACKEND=engine|sqlite, not "
+                "with an already-sharded backend spec"
+            )
+        mth = load_mth(
+            data=data,
+            tenants=config.tenants,
+            distribution=config.distribution,
+            profile=config.profile,
+            backend=config.backend,
+            shards=config.shards,
+        )
+    else:
+        mth = load_mth(
+            data=data,
+            tenants=config.tenants,
+            distribution=config.distribution,
+            profile=config.profile,
+            backend=create_backend(config.backend, profile=config.profile),
+        )
     baseline = load_tpch_baseline(
         data=data,
         profile=config.profile,
@@ -188,4 +237,5 @@ def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
 
 
 def clear_workload_cache() -> None:
+    """Drop every memoized workload (tests that mutate workloads call this)."""
     _WORKLOAD_CACHE.clear()

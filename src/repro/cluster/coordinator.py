@@ -1,0 +1,175 @@
+"""The scatter-gather coordinator: execute a cluster plan and merge results.
+
+Given a :mod:`plan <repro.cluster.planner>` the coordinator
+
+* **scatters** the per-shard query to every shard in the plan (concurrently,
+  one worker per shard — shards are independent databases),
+* **gathers** the shard results in shard order (so repeated executions are
+  deterministic), and
+* **merges**: plain concatenation for row streams, group-wise
+  partial-aggregate re-aggregation for aggregate queries, then re-applies
+  ``HAVING``, ``ORDER BY``, ``DISTINCT`` and ``LIMIT`` exactly as the engine
+  would have on a single backend.
+
+Federated plans are *not* handled here — they need the owning
+:class:`~repro.backends.sharded.ShardedConnection`'s scratch backend and are
+executed there.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional, Sequence, Union
+
+from ..result import QueryResult
+from ..sql import ast
+from ..sql.printer import to_sql
+from .merge import MergeEvaluator, distinct_rows, merge_partial_rows, sort_rows
+from .planner import PartialAggregatePlan, RowStreamPlan, SingleShardPlan
+
+
+class ShardCoordinator:
+    """Executes single-shard and scatter-gather plans over shard connections."""
+
+    def __init__(
+        self, shards: Sequence[Any], functions: Optional[dict[str, Any]] = None
+    ) -> None:
+        self._shards = list(shards)
+        self._functions = functions if functions is not None else {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- plan execution ------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Union[SingleShardPlan, RowStreamPlan, PartialAggregatePlan],
+        parameters: Optional[Sequence[Any]] = None,
+    ) -> QueryResult:
+        """Run one plan and return the merged :class:`QueryResult`."""
+        if isinstance(plan, SingleShardPlan):
+            return self._shards[plan.shard].query(plan.statement, parameters=parameters)
+        if isinstance(plan, RowStreamPlan):
+            return self._execute_row_stream(plan, parameters)
+        return self._execute_partial_aggregate(plan, parameters)
+
+    def close(self) -> None:
+        """Shut the scatter worker pool down (the shards are closed elsewhere)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    # -- scatter -------------------------------------------------------------
+
+    def _scatter(
+        self,
+        statement: ast.Select,
+        shard_ids: tuple[int, ...],
+        parameters: Optional[Sequence[Any]],
+    ) -> list[QueryResult]:
+        """Execute one statement on several shards, results in shard order."""
+        if len(shard_ids) == 1:
+            return [self._shards[shard_ids[0]].query(statement, parameters=parameters)]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._shards[shard].query, statement, parameters=parameters)
+            for shard in shard_ids
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(2, len(self._shards)),
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
+    # -- gather: row streams -------------------------------------------------
+
+    def _execute_row_stream(
+        self, plan: RowStreamPlan, parameters: Optional[Sequence[Any]]
+    ) -> QueryResult:
+        split = plan.split
+        results = self._scatter(split.shard_query, plan.shards, parameters)
+        rows: list[tuple] = []
+        for result in results:
+            rows.extend(result.rows)
+        if split.distinct:
+            # per-shard DISTINCT leaves cross-shard duplicates; drop them the
+            # way the engine does (first occurrence wins) before ordering
+            rows = distinct_rows(rows)
+        rows = sort_rows(rows, split.sort_columns)
+        if split.limit is not None:
+            rows = rows[: split.limit]
+        if split.visible_width < len(split.shard_query.items):
+            rows = [row[: split.visible_width] for row in rows]
+        columns = [_output_name(item) for item in plan.statement.items]
+        return QueryResult(columns=columns, rows=rows)
+
+    # -- gather: partial aggregates ------------------------------------------
+
+    def _execute_partial_aggregate(
+        self, plan: PartialAggregatePlan, parameters: Optional[Sequence[Any]]
+    ) -> QueryResult:
+        split = plan.split
+        statement = plan.statement
+        results = self._scatter(split.shard_query, plan.shards, parameters)
+        gathered: list[tuple] = []
+        for result in results:
+            gathered.extend(result.rows)
+        groups = merge_partial_rows(gathered, len(split.key_texts), split.partials)
+
+        aliases_by_position = [
+            item.alias.lower() if item.alias is not None else None
+            for item in statement.items
+        ]
+        order_specs = [(order.expr, order.descending) for order in statement.order_by]
+        merged_rows: list[tuple[tuple, tuple]] = []  # (visible row, sort keys)
+        for key, states in groups.items():
+            bindings: dict[str, Any] = dict(zip(split.key_texts, key))
+            for state in states:
+                bindings[state.spec.text] = state.result()
+            evaluator = MergeEvaluator(bindings, functions=self._functions)
+            values = tuple(evaluator.evaluate(item.expr) for item in statement.items)
+            aliases = {
+                alias: value
+                for alias, value in zip(aliases_by_position, values)
+                if alias is not None
+            }
+            final = MergeEvaluator(bindings, aliases, functions=self._functions)
+            if statement.having is not None and final.evaluate(statement.having) is not True:
+                continue
+            sort_values = tuple(final.evaluate(expr) for expr, _ in order_specs)
+            merged_rows.append((values, sort_values))
+
+        if statement.distinct:
+            merged_rows = distinct_rows(merged_rows, key=lambda entry: entry[0])
+        if order_specs:
+            sort_columns = [
+                (position, descending)
+                for position, (_, descending) in enumerate(order_specs)
+            ]
+            ordered = sort_rows(
+                [values + keys for values, keys in merged_rows],
+                [(len(statement.items) + position, desc) for position, desc in sort_columns],
+            )
+            rows = [row[: len(statement.items)] for row in ordered]
+        else:
+            rows = [values for values, _ in merged_rows]
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        columns = [_output_name(item) for item in statement.items]
+        return QueryResult(columns=columns, rows=rows)
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    """Result-column naming, matching the engine's convention."""
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.Column):
+        return item.expr.name
+    return to_sql(item.expr)

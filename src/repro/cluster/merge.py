@@ -1,0 +1,324 @@
+"""Gather-side merging: partial-aggregate combination and final evaluation.
+
+The scatter phase leaves the coordinator with per-shard rows; this module
+turns them back into the single-backend answer:
+
+* :class:`PartialAggregateState` / :func:`merge_partial_rows` — combine the
+  shards' partial aggregates per group (``SUM``/``COUNT`` add, ``MIN``/
+  ``MAX`` keep the extremum, ``AVG`` divides total ``SUM`` by total
+  ``COUNT``), preserving SQL NULL semantics (``SUM`` of an all-NULL group is
+  NULL, ``AVG`` of an empty group is NULL),
+* :class:`MergeEvaluator` — evaluate the query's final SELECT list,
+  ``HAVING`` and ``ORDER BY`` expressions over the merged values, mirroring
+  the engine's SQL semantics (three-valued logic, NULL propagation, division
+  by zero) via the shared :func:`repro.sql.types.sql_equal` /
+  :func:`~repro.sql.types.sql_compare` helpers,
+* :func:`sort_rows` — the engine's ``ORDER BY`` algorithm (stable per-key
+  sorts over :func:`repro.sql.types.sort_key`) on gathered rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import ExecutionError
+from ..sql import ast
+from ..sql.printer import to_sql
+from ..sql.transform import PartialAggregate
+from ..sql.types import Date, sort_key, sql_compare, sql_equal
+
+# ---------------------------------------------------------------------------
+# Partial-aggregate states
+# ---------------------------------------------------------------------------
+
+
+class PartialAggregateState:
+    """Accumulates one aggregate's per-shard partials into the global value."""
+
+    def __init__(self, spec: PartialAggregate) -> None:
+        self.spec = spec
+        self._sum: Any = None
+        self._count = 0
+        self._extremum: Any = None
+
+    def merge(self, row: tuple) -> None:
+        """Fold one shard row's partial column(s) into the state."""
+        kind = self.spec.kind
+        if kind == "avg":
+            partial_sum, partial_count = (row[index] for index in self.spec.columns)
+            self._add_sum(partial_sum)
+            self._count += int(partial_count or 0)
+            return
+        value = row[self.spec.columns[0]]
+        if kind == "sum":
+            self._add_sum(value)
+        elif kind == "count":
+            self._count += int(value or 0)
+        elif kind in ("min", "max"):
+            if value is None:
+                return
+            if self._extremum is None:
+                self._extremum = value
+            elif kind == "min":
+                self._extremum = min(self._extremum, value)
+            else:
+                self._extremum = max(self._extremum, value)
+        else:  # pragma: no cover - the split rejects unknown kinds
+            raise ExecutionError(f"unknown partial-aggregate kind {kind!r}")
+
+    def _add_sum(self, value: Any) -> None:
+        if value is None:
+            return
+        self._sum = value if self._sum is None else self._sum + value
+
+    def result(self) -> Any:
+        """The merged aggregate value (matching single-backend semantics)."""
+        kind = self.spec.kind
+        if kind == "sum":
+            return self._sum
+        if kind == "count":
+            return self._count
+        if kind in ("min", "max"):
+            return self._extremum
+        # AVG: the engine accumulates into a float and divides by the count
+        if self._count == 0:
+            return None
+        return (self._sum if self._sum is not None else 0.0) / self._count
+
+
+def merge_partial_rows(
+    shard_rows: Iterable[tuple],
+    key_width: int,
+    partials: Sequence[PartialAggregate],
+) -> dict[tuple, list[PartialAggregateState]]:
+    """Merge gathered partial rows into per-group aggregate states.
+
+    Groups are keyed on the leading ``key_width`` columns; for a global
+    aggregate (no GROUP BY) every shard contributes exactly one row to the
+    ``()`` group.
+    """
+    groups: dict[tuple, list[PartialAggregateState]] = {}
+    for row in shard_rows:
+        key = tuple(row[:key_width])
+        states = groups.get(key)
+        if states is None:
+            states = [PartialAggregateState(spec) for spec in partials]
+            groups[key] = states
+        for state in states:
+            state.merge(row)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Final-expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def default_scalar_functions() -> dict[str, Any]:
+    """The coordinator's scalar-function registry seed: the engine builtins.
+
+    The optimizer's conversion push-up leaves ``COALESCE`` and constant-arg
+    rate look-ups *outside* the aggregates, so the coordinator must evaluate
+    them after re-aggregation exactly as a backend would.
+    """
+    from ..engine.functions import BUILTIN_SCALARS
+
+    return dict(BUILTIN_SCALARS)
+
+
+class MergeEvaluator:
+    """Evaluates residual expressions over merged group/aggregate bindings.
+
+    ``bindings`` maps the printed form of an expression (a group-key text or
+    an aggregate-call text) to its merged value; ``aliases`` maps output
+    aliases to already-computed SELECT-item values, which is how ``HAVING``
+    and ``ORDER BY`` reference the projection; ``functions`` maps scalar
+    function names to Python callables (builtins plus registered Python
+    UDFs).  Only the node types the planner's evaluability check admits are
+    implemented.
+    """
+
+    def __init__(
+        self,
+        bindings: dict[str, Any],
+        aliases: Optional[dict[str, Any]] = None,
+        functions: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.bindings = bindings
+        self.aliases = aliases or {}
+        self.functions = functions if functions is not None else {}
+
+    def evaluate(self, expr: ast.Expression) -> Any:
+        """Evaluate one expression tree to a Python value."""
+        bound = self.bindings.get(to_sql(expr), _MISSING)
+        if bound is not _MISSING:
+            return bound
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Column):
+            if expr.table is None and expr.name.lower() in self.aliases:
+                return self.aliases[expr.name.lower()]
+            raise ExecutionError(f"unbound merge column {to_sql(expr)!r}")
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, ast.Case):
+            return self._case(expr)
+        if isinstance(expr, ast.IsNull):
+            null = self.evaluate(expr.expr) is None
+            return not null if expr.negated else null
+        if isinstance(expr, ast.Between):
+            return self._between(expr)
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr)
+        if isinstance(expr, ast.FunctionCall):
+            fn = self.functions.get(expr.name.lower())
+            if fn is not None:
+                return fn(*(self.evaluate(argument) for argument in expr.args))
+        raise ExecutionError(
+            f"merge evaluator cannot evaluate {type(expr).__name__}: {to_sql(expr)}"
+        )
+
+    # -- operators (mirroring repro.engine.expressions) ----------------------
+
+    def _binary(self, expr: ast.BinaryOp) -> Any:
+        operator = expr.op.upper()
+        if operator == "AND":
+            left, right = self.evaluate(expr.left), self.evaluate(expr.right)
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if operator == "OR":
+            left, right = self.evaluate(expr.left), self.evaluate(expr.right)
+            if left is True or right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left, right = self.evaluate(expr.left), self.evaluate(expr.right)
+        if operator == "=":
+            return sql_equal(left, right)
+        if operator == "<>":
+            equal = sql_equal(left, right)
+            return None if equal is None else not equal
+        if operator in ("<", "<=", ">", ">="):
+            ordering = sql_compare(left, right)
+            if ordering is None:
+                return None
+            return {
+                "<": ordering < 0,
+                "<=": ordering <= 0,
+                ">": ordering > 0,
+                ">=": ordering >= 0,
+            }[operator]
+        if left is None or right is None:
+            return None
+        if operator in ("+", "-", "*", "/") and (
+            isinstance(left, Date) or isinstance(right, Date)
+        ):
+            # mirror the engine's date ± interval semantics (an ORDER BY key
+            # like ``d + INTERVAL '1' MONTH`` is planner-evaluable)
+            from ..engine.expressions import _date_arithmetic
+
+            return _date_arithmetic(left, right, operator)
+        if operator == "+":
+            return left + right
+        if operator == "-":
+            return left - right
+        if operator == "*":
+            return left * right
+        if operator == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left / right
+        if operator == "%":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left % right
+        if operator == "||":
+            return f"{left}{right}"
+        raise ExecutionError(f"merge evaluator cannot apply operator {expr.op!r}")
+
+    def _unary(self, expr: ast.UnaryOp) -> Any:
+        value = self.evaluate(expr.operand)
+        if expr.op.upper() == "NOT":
+            return None if value is None else not value
+        if expr.op == "-":
+            return None if value is None else -value
+        raise ExecutionError(f"merge evaluator cannot apply operator {expr.op!r}")
+
+    def _case(self, expr: ast.Case) -> Any:
+        for when in expr.whens:
+            if self.evaluate(when.condition) is True:
+                return self.evaluate(when.result)
+        if expr.else_result is not None:
+            return self.evaluate(expr.else_result)
+        return None
+
+    def _between(self, expr: ast.Between) -> Optional[bool]:
+        value = self.evaluate(expr.expr)
+        low, high = self.evaluate(expr.low), self.evaluate(expr.high)
+        if value is None or low is None or high is None:
+            return None
+        result = sql_compare(value, low) >= 0 and sql_compare(value, high) <= 0
+        return not result if expr.negated else result
+
+    def _in_list(self, expr: ast.InList) -> Optional[bool]:
+        value = self.evaluate(expr.expr)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item)
+            if candidate is None:
+                saw_null = True
+                continue
+            if sql_equal(value, candidate) is True:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Gathered-row ordering
+# ---------------------------------------------------------------------------
+
+
+def distinct_rows(rows: list, key: Optional[Any] = None) -> list:
+    """First-occurrence-wins deduplication, matching the engine's DISTINCT.
+
+    ``key`` extracts the identity to deduplicate on (default: the row
+    itself) while the returned list keeps the full entries.
+    """
+    seen: set = set()
+    unique = []
+    for row in rows:
+        identity = row if key is None else key(row)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        unique.append(row)
+    return unique
+
+
+def sort_rows(
+    rows: list[tuple], sort_columns: Sequence[tuple[int, bool]]
+) -> list[tuple]:
+    """Sort gathered rows exactly like the engine sorts projected rows.
+
+    Stable per-key passes from the minor key to the major key over the
+    mixed-type total order of :func:`repro.sql.types.sort_key`.
+    """
+    if not sort_columns:
+        return rows
+    ordered = list(rows)
+    for position, descending in reversed(list(sort_columns)):
+        ordered.sort(key=lambda row: sort_key(row[position]), reverse=descending)
+    return ordered

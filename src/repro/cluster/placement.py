@@ -1,0 +1,116 @@
+"""Tenant placement policies: which shard owns which tenant.
+
+A sharded cluster (:class:`repro.backends.sharded.ShardedBackend`) partitions
+the rows of tenant-specific tables by their ttid; a *placement policy* is the
+pure function behind that partitioning.  Placement is consulted
+
+* at load time, to route each owned row to its shard,
+* at query time, to prune the shard fan-out to the shards owning ``D'`` (the
+  single-shard fast path falls out when ``D'`` lands on one shard).
+
+Two policies ship with the reproduction: :class:`HashPlacement` (multiplicative
+hashing, the default) and :class:`ExplicitPlacement` (an operator-provided
+tenant → shard map, e.g. to co-locate an alliance of tenants).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Optional
+
+from ..errors import ClusterError
+
+#: Knuth's multiplicative-hash constant (2^32 / golden ratio, odd)
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 2**32
+
+
+class PlacementPolicy(abc.ABC):
+    """Deterministic assignment of tenants to the shards of a cluster."""
+
+    #: number of shards this policy places tenants on
+    shard_count: int
+
+    @abc.abstractmethod
+    def shard_of(self, ttid: int) -> int:
+        """The shard (``0 .. shard_count-1``) owning tenant ``ttid``'s rows."""
+
+    def shards_for(self, dataset: Optional[Iterable[int]]) -> tuple[int, ...]:
+        """The sorted shard set owning the tenants of a data set ``D'``.
+
+        ``None`` means "unknown data set": every shard must be consulted.  An
+        empty data set maps to shard 0 (any single shard returns the empty
+        result).
+        """
+        if dataset is None:
+            return tuple(range(self.shard_count))
+        shards = sorted({self.shard_of(ttid) for ttid in dataset})
+        return tuple(shards) if shards else (0,)
+
+    def _check_shard_count(self, shard_count: int) -> int:
+        if shard_count < 1:
+            raise ClusterError(f"a cluster needs at least one shard, got {shard_count}")
+        return shard_count
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shard_count={self.shard_count})"
+
+
+class HashPlacement(PlacementPolicy):
+    """Spread tenants over the shards by multiplicative hashing.
+
+    The hash is deterministic across processes (no reliance on ``PYTHONHASHSEED``)
+    and consecutive ttids land on distinct shards whenever possible, which
+    keeps micro-benchmark tenant populations balanced.
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = self._check_shard_count(shard_count)
+
+    def shard_of(self, ttid: int) -> int:
+        """Hash the ttid into ``0 .. shard_count-1``."""
+        return (int(ttid) * _HASH_MULTIPLIER % _HASH_MODULUS) % self.shard_count
+
+
+class ExplicitPlacement(PlacementPolicy):
+    """An operator-provided tenant → shard assignment.
+
+    ``default_shard`` (when given) receives tenants missing from the map —
+    useful when new tenants register after the cluster was laid out; without
+    it an unknown tenant raises :class:`~repro.errors.ClusterError`.
+    """
+
+    def __init__(
+        self,
+        assignments: Mapping[int, int],
+        shard_count: Optional[int] = None,
+        default_shard: Optional[int] = None,
+    ) -> None:
+        self._assignments = {int(ttid): int(shard) for ttid, shard in assignments.items()}
+        highest = max(
+            [shard for shard in self._assignments.values()]
+            + ([default_shard] if default_shard is not None else [-1])
+        )
+        self.shard_count = self._check_shard_count(
+            shard_count if shard_count is not None else highest + 1
+        )
+        self.default_shard = default_shard
+        for ttid, shard in self._assignments.items():
+            if not 0 <= shard < self.shard_count:
+                raise ClusterError(
+                    f"tenant {ttid} is placed on shard {shard}, outside "
+                    f"0..{self.shard_count - 1}"
+                )
+        if default_shard is not None and not 0 <= default_shard < self.shard_count:
+            raise ClusterError(
+                f"default shard {default_shard} is outside 0..{self.shard_count - 1}"
+            )
+
+    def shard_of(self, ttid: int) -> int:
+        """Look the tenant up in the assignment map (or fall back to the default)."""
+        shard = self._assignments.get(int(ttid), self.default_shard)
+        if shard is None:
+            raise ClusterError(
+                f"tenant {ttid} has no explicit placement and no default shard"
+            )
+        return shard

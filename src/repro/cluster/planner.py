@@ -1,0 +1,465 @@
+"""The distributed query planner: choose how a statement runs on a cluster.
+
+The input is a *rewritten* statement — plain SQL, exactly what the MTBase
+middleware would send to a single backend.  Because tenant-specific tables
+are partitioned by ttid (and global tables replicated), most rewritten
+queries decompose into per-shard work plus a cheap coordinator merge.  The
+planner picks the cheapest sound strategy:
+
+1. :class:`SingleShardPlan` — the query references no partitioned table, or
+   ``D'`` lands on a single shard (the fast path): execute there unchanged.
+2. :class:`RowStreamPlan` — a non-aggregate query whose row stream provably
+   partitions across shards: plain UNION of the shard streams, with
+   ``ORDER BY``/``LIMIT``/``DISTINCT`` re-applied by the coordinator.
+3. :class:`PartialAggregatePlan` — an aggregate query over a partitioned row
+   stream: shards compute partial aggregates per group (``SUM``/``COUNT``/
+   ``MIN``/``MAX``, ``AVG`` as ``SUM``÷``COUNT``), the coordinator
+   re-aggregates and re-applies ``HAVING``/``ORDER BY``/``LIMIT``.
+4. :class:`FederatedPlan` — everything else: the coordinator pulls the
+   referenced base rows into a scratch backend and executes the original
+   query there.  Slow but always correct; it is the safety net that makes
+   the planner's static analysis allowed to be conservative.
+
+**Soundness.**  Strategies 2 and 3 require that every pre-aggregation row is
+produced by exactly one shard.  The planner proves this from the partitioning
+catalog: a FROM clause is *anchored* when it joins at least one partitioned
+table (or a shard-local derived table) and global tables; sub-queries must be
+*shard-local* — either global-only, or grouped/DISTINCT on a tenant-specific
+key column, whose groups therefore never span shards.  Joins between two
+partitioned tables are assumed co-located (MTBase extends global referential
+integrity with the ttid, Appendix A.1, and MT-H assigns orders/lineitems to
+their customer's tenant); queries that join partitioned rows of *different*
+tenants on non-key attributes must disable scatter-gather (see
+:class:`repro.backends.sharded.ShardedBackend`'s ``scatter_gather`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import SplitError
+from ..sql import ast
+from ..sql.printer import to_sql
+from ..sql.transform import (
+    AggregateSplit,
+    RowStreamSplit,
+    iter_select_expressions,
+    select_aggregate_calls,
+    split_partial_aggregates,
+    split_row_stream,
+    walk_expression,
+)
+
+# ---------------------------------------------------------------------------
+# Partitioning catalog
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    """How one table is partitioned across the cluster.
+
+    ``local_keys`` are the lower-cased columns whose values never span
+    tenants — the ttid column itself plus the table's tenant-specific (MTSQL
+    ``SPECIFIC``) attributes.  Grouping by any of them keeps every group on a
+    single shard, which is what makes nested aggregation decomposable.
+    """
+
+    table: str
+    ttid_column: str
+    local_keys: frozenset[str] = frozenset()
+
+    @property
+    def key(self) -> str:
+        """Lower-cased catalog key."""
+        return self.table.lower()
+
+    def all_local_keys(self) -> frozenset[str]:
+        """The local keys including the ttid column itself."""
+        return self.local_keys | {self.ttid_column.lower()}
+
+
+@dataclass
+class ClusterCatalog:
+    """What the planner knows about the cluster's relations."""
+
+    #: partitioned tables by lower-cased name
+    partitioned: dict[str, PartitionInfo] = field(default_factory=dict)
+    #: every base table created on the cluster (lower-cased)
+    relations: set[str] = field(default_factory=set)
+    #: every view created on the cluster (lower-cased)
+    views: set[str] = field(default_factory=set)
+
+    def is_partitioned(self, name: str) -> bool:
+        """Whether ``name`` is a tenant-partitioned base table."""
+        return name.lower() in self.partitioned
+
+    def is_replicated_table(self, name: str) -> bool:
+        """Whether ``name`` is a known base table replicated on every shard."""
+        lowered = name.lower()
+        return lowered in self.relations and lowered not in self.partitioned
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SingleShardPlan:
+    """Run the statement unchanged on one shard and relay its result."""
+
+    shard: int
+    statement: ast.Select
+
+    def describe(self) -> str:
+        """One-line plan summary for logs and examples."""
+        return f"single-shard(shard={self.shard})"
+
+
+@dataclass(frozen=True)
+class RowStreamPlan:
+    """Scatter the per-shard stream, gather by UNION + re-sort at the top."""
+
+    shards: tuple[int, ...]
+    split: RowStreamSplit
+    statement: ast.Select
+
+    def describe(self) -> str:
+        """One-line plan summary for logs and examples."""
+        return f"row-stream(shards={list(self.shards)})"
+
+
+@dataclass(frozen=True)
+class PartialAggregatePlan:
+    """Scatter partial aggregates, re-aggregate groups at the coordinator."""
+
+    shards: tuple[int, ...]
+    split: AggregateSplit
+    statement: ast.Select
+
+    def describe(self) -> str:
+        """One-line plan summary for logs and examples."""
+        return (
+            f"partial-aggregate(shards={list(self.shards)}, "
+            f"partials={len(self.split.partials)})"
+        )
+
+
+@dataclass(frozen=True)
+class FederatedPlan:
+    """Pull the referenced base rows into a scratch backend and run there.
+
+    ``tables`` lists the base tables to synchronize; ``None`` means the
+    statement references a view or unknown relation, so every known table
+    must be pulled.
+    """
+
+    statement: ast.Select
+    tables: Optional[tuple[str, ...]]
+
+    def describe(self) -> str:
+        """One-line plan summary for logs and examples."""
+        pulled = "all" if self.tables is None else list(self.tables)
+        return f"federated(tables={pulled})"
+
+
+Plan = Union[SingleShardPlan, RowStreamPlan, PartialAggregatePlan, FederatedPlan]
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StreamInfo:
+    """Result of analysing one SELECT's FROM/WHERE row stream."""
+
+    ok: bool
+    anchored: bool
+    bindings: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+_EVAL_BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "||", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+)
+
+
+class ClusterPlanner:
+    """Plans rewritten SELECT statements against a partitioning catalog."""
+
+    def __init__(
+        self,
+        catalog: ClusterCatalog,
+        scatter_gather: bool = True,
+        functions: Optional[dict] = None,
+    ) -> None:
+        self.catalog = catalog
+        #: when False, every multi-shard query uses the federated strategy
+        #: (escape hatch for workloads that break the co-location assumption)
+        self.scatter_gather = scatter_gather
+        #: scalar functions the coordinator can evaluate post-merge (shared,
+        #: mutable: the owning connection adds Python UDFs as they register)
+        self.functions = functions if functions is not None else {}
+
+    # -- entry point ---------------------------------------------------------
+
+    def plan(self, select: ast.Select, shards: tuple[int, ...]) -> Plan:
+        """Choose the execution strategy for one SELECT over ``shards``."""
+        from ..sql.transform import referenced_table_names
+
+        tables = referenced_table_names(select)
+        known = {name for name in tables if name in self.catalog.relations}
+        unknown = tables - known
+        partitioned = {name for name in tables if name in self.catalog.partitioned}
+        if not partitioned and not (unknown & self.catalog.views):
+            # global tables are replicated: any single shard answers; unknown
+            # non-view relations will raise the backend's own catalog error
+            return SingleShardPlan(shard=shards[0], statement=select)
+        if len(shards) == 1:
+            return SingleShardPlan(shard=shards[0], statement=select)
+        if unknown:
+            # a view (or a relation this connection never saw DDL for) hides
+            # its base tables: pull everything and execute federated
+            return FederatedPlan(statement=select, tables=None)
+        if not self.scatter_gather:
+            return self._federated(select, known)
+
+        info = self._stream_info(select)
+        if not info.ok or not info.anchored:
+            return self._federated(select, known)
+        if select.group_by or select_aggregate_calls(select):
+            plan = self._plan_partial_aggregate(select, shards)
+        else:
+            plan = self._plan_row_stream(select, shards)
+        return plan if plan is not None else self._federated(select, known)
+
+    def _federated(self, select: ast.Select, tables: set[str]) -> FederatedPlan:
+        return FederatedPlan(statement=select, tables=tuple(sorted(tables)))
+
+    # -- scatter-gather strategies -------------------------------------------
+
+    def _plan_row_stream(
+        self, select: ast.Select, shards: tuple[int, ...]
+    ) -> Optional[RowStreamPlan]:
+        try:
+            split = split_row_stream(select)
+        except SplitError:
+            return None
+        return RowStreamPlan(shards=shards, split=split, statement=select)
+
+    def _plan_partial_aggregate(
+        self, select: ast.Select, shards: tuple[int, ...]
+    ) -> Optional[PartialAggregatePlan]:
+        try:
+            split = split_partial_aggregates(select)
+        except SplitError:
+            return None
+        texts = set(split.key_texts) | {partial.text for partial in split.partials}
+        aliases = {
+            item.alias.lower() for item in select.items if item.alias is not None
+        }
+        for item in select.items:
+            if not self._evaluable(item.expr, texts, frozenset()):
+                return None
+        if not self._evaluable(select.having, texts, aliases):
+            return None
+        for order in select.order_by:
+            if not self._evaluable(order.expr, texts, aliases):
+                return None
+        return PartialAggregatePlan(shards=shards, split=split, statement=select)
+
+    def _evaluable(
+        self,
+        expr: Optional[ast.Expression],
+        texts: set[str],
+        aliases: frozenset[str],
+    ) -> bool:
+        """Whether the coordinator can evaluate ``expr`` over merged bindings."""
+        if expr is None:
+            return True
+        if to_sql(expr) in texts:
+            return True
+        if isinstance(expr, ast.Column):
+            return expr.table is None and expr.name.lower() in aliases
+        if isinstance(expr, ast.Literal):
+            return True
+        if isinstance(expr, ast.BinaryOp):
+            return (
+                expr.op.upper() in _EVAL_BINARY_OPS
+                and self._evaluable(expr.left, texts, aliases)
+                and self._evaluable(expr.right, texts, aliases)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._evaluable(expr.operand, texts, aliases)
+        if isinstance(expr, ast.Case):
+            return all(
+                self._evaluable(when.condition, texts, aliases)
+                and self._evaluable(when.result, texts, aliases)
+                for when in expr.whens
+            ) and self._evaluable(expr.else_result, texts, aliases)
+        if isinstance(expr, ast.IsNull):
+            return self._evaluable(expr.expr, texts, aliases)
+        if isinstance(expr, ast.Between):
+            return (
+                self._evaluable(expr.expr, texts, aliases)
+                and self._evaluable(expr.low, texts, aliases)
+                and self._evaluable(expr.high, texts, aliases)
+            )
+        if isinstance(expr, ast.InList):
+            return self._evaluable(expr.expr, texts, aliases) and all(
+                self._evaluable(item, texts, aliases) for item in expr.items
+            )
+        if isinstance(expr, ast.FunctionCall):
+            # non-aggregate scalar call (aggregates were bound by text above):
+            # evaluable when the coordinator holds the function
+            return expr.name.lower() in self.functions and all(
+                self._evaluable(argument, texts, aliases) for argument in expr.args
+            )
+        return False
+
+    # -- row-partitioning analysis -------------------------------------------
+
+    def _stream_info(self, select: ast.Select) -> _StreamInfo:
+        """Analyse whether a SELECT's pre-aggregation rows partition by shard."""
+        bindings: dict[str, frozenset[str]] = {}
+        anchored = False
+        for item in select.from_items:
+            item_ok, item_anchored = self._from_item_info(item, bindings)
+            if not item_ok:
+                return _StreamInfo(ok=False, anchored=False)
+            anchored = anchored or item_anchored
+        for expr in iter_select_expressions(select):
+            if not self._expression_subqueries_ok(expr, bindings):
+                return _StreamInfo(ok=False, anchored=False)
+        return _StreamInfo(ok=True, anchored=anchored, bindings=bindings)
+
+    def _from_item_info(
+        self, item: ast.FromItem, bindings: dict[str, frozenset[str]]
+    ) -> tuple[bool, bool]:
+        """Register a FROM item's bindings; returns ``(ok, anchored)``."""
+        if isinstance(item, ast.TableRef):
+            lowered = item.name.lower()
+            binding = (item.alias or item.name).lower()
+            if lowered in self.catalog.partitioned:
+                bindings[binding] = self.catalog.partitioned[lowered].all_local_keys()
+                return True, True
+            if self.catalog.is_replicated_table(lowered):
+                bindings[binding] = frozenset()
+                return True, False
+            return False, False  # view / unknown relation
+        if isinstance(item, ast.SubqueryRef):
+            shape, local_out = self._select_shape(item.query)
+            if shape == "opaque":
+                return False, False
+            bindings[item.alias.lower()] = local_out
+            return True, shape in ("stream", "grouped")
+        if isinstance(item, ast.Join):
+            left_ok, left_anchored = self._from_item_info(item.left, bindings)
+            right_ok, right_anchored = self._from_item_info(item.right, bindings)
+            if not (left_ok and right_ok):
+                return False, False
+            if item.join_type is ast.JoinType.LEFT and right_anchored and not left_anchored:
+                # a replicated left side would be NULL-extended on every
+                # shard, duplicating its rows across the union
+                return False, False
+            return True, left_anchored or right_anchored
+        return False, False
+
+    def _select_shape(self, select: ast.Select) -> tuple[str, frozenset[str]]:
+        """Classify a sub-query: ``global`` (replicated result), ``stream`` /
+        ``grouped`` (result rows partition by shard) or ``opaque``."""
+        from ..sql.transform import referenced_table_names
+
+        tables = referenced_table_names(select)
+        if any(name not in self.catalog.relations for name in tables):
+            return "opaque", frozenset()
+        if not any(name in self.catalog.partitioned for name in tables):
+            return "global", frozenset()
+
+        info = self._stream_info(select)
+        if not info.ok or not info.anchored:
+            return "opaque", frozenset()
+        if select.limit is not None:
+            # a per-shard LIMIT is not the global LIMIT
+            return "opaque", frozenset()
+
+        aggregates = select_aggregate_calls(select)
+        if select.group_by:
+            if not any(
+                self._is_local_key(expr, info.bindings) for expr in select.group_by
+            ):
+                return "opaque", frozenset()
+            shape = "grouped"
+        elif aggregates:
+            return "opaque", frozenset()  # a global aggregate needs all shards
+        elif select.distinct:
+            if not any(
+                self._is_local_key(item.expr, info.bindings) for item in select.items
+            ):
+                return "opaque", frozenset()
+            shape = "grouped"
+        else:
+            shape = "stream"
+        return shape, self._local_output_keys(select, info.bindings)
+
+    def _local_output_keys(
+        self, select: ast.Select, bindings: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        """Output columns of a sub-query that pass a local key through."""
+        keys = set()
+        for item in select.items:
+            if self._is_local_key(item.expr, bindings):
+                name = item.alias or item.expr.name  # type: ignore[union-attr]
+                keys.add(name.lower())
+        return frozenset(keys)
+
+    def _is_local_key(
+        self, expr: ast.Expression, bindings: dict[str, frozenset[str]]
+    ) -> bool:
+        """Whether an expression is a column whose values never span shards."""
+        if not isinstance(expr, ast.Column):
+            return False
+        name = expr.name.lower()
+        if expr.table is not None:
+            return name in bindings.get(expr.table.lower(), frozenset())
+        return any(name in keys for keys in bindings.values())
+
+    def _expression_subqueries_ok(
+        self, expr: ast.Expression, bindings: dict[str, frozenset[str]]
+    ) -> bool:
+        """Check the sub-queries nested inside one expression tree."""
+        for node in walk_expression(expr):
+            if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
+                # must yield the same value/verdict on every shard
+                if self._select_shape(node.query)[0] != "global":
+                    return False
+            elif isinstance(node, ast.InSubquery):
+                if not self._in_subquery_ok(node, bindings):
+                    return False
+        return True
+
+    def _in_subquery_ok(
+        self, node: ast.InSubquery, bindings: dict[str, frozenset[str]]
+    ) -> bool:
+        """A membership test decomposes when probe and members are co-located.
+
+        Either the sub-query is global (identical member set everywhere), or
+        both sides are tenant-local keys: the probed rows and the member rows
+        then live on the same shard, so the per-shard verdict is the global
+        verdict.
+        """
+        shape, local_out = self._select_shape(node.query)
+        if shape == "global":
+            return True
+        if shape == "opaque":
+            return False
+        if len(node.query.items) != 1:
+            return False
+        item = node.query.items[0]
+        member = (item.alias or getattr(item.expr, "name", "")).lower()
+        if member not in local_out:
+            return False
+        return self._is_local_key(node.expr, bindings)

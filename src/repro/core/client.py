@@ -69,6 +69,7 @@ class MTConnection:
             self.scope = parse_scope(scope)
 
     def reset_scope(self) -> None:
+        """Restore the default scope (D = {C})."""
         self.scope = DefaultScope()
 
     def dataset(self) -> tuple[int, ...]:
@@ -127,6 +128,7 @@ class MTConnection:
             )
 
     def query(self, statement: Union[str, ast.Select]) -> QueryResult:
+        """Execute a SELECT and return its :class:`QueryResult`."""
         result = self.execute(statement)
         if not isinstance(result, QueryResult):
             raise MTSQLError("query() expects a SELECT statement")
@@ -162,7 +164,9 @@ class MTConnection:
         dataset = self._pruned_dataset(query)
         rewritten = self._rewrite_query(query, dataset)
         self.last_rewritten = [rewritten]
-        return self.backend.execute(rewritten)
+        # D' is routing metadata: a sharded backend prunes its fan-out to the
+        # shards owning these tenants (single-database backends ignore it)
+        return self.backend.execute_scoped(rewritten, dataset=dataset)
 
     def _rewrite_query(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
         context = self._rewrite_context(dataset)

@@ -87,11 +87,13 @@ class MTBase:
         return listener
 
     def remove_metadata_listener(self, listener: Callable[[str], None]) -> None:
+        """Unsubscribe a metadata-change listener (idempotent)."""
         with self._metadata_lock:
             if listener in self._metadata_listeners:
                 self._metadata_listeners.remove(listener)
 
     def notify_metadata_change(self, reason: str) -> None:
+        """Bump the metadata version and run every registered listener."""
         # the increment must not lose updates: a cache's stale-put guard
         # (RewriteCache) compares version snapshots, and two concurrent
         # changes collapsing into one bump would let a stale plan slip in
@@ -110,6 +112,7 @@ class MTBase:
         self.notify_metadata_change("tenant")
 
     def tenants(self) -> tuple[int, ...]:
+        """The ttids of every registered tenant."""
         return tuple(self.privileges.tenants())
 
     def allow_cross_tenant_access(
@@ -129,6 +132,7 @@ class MTBase:
     # -- conversion functions -----------------------------------------------------
 
     def register_conversion_pair(self, pair: ConversionPair) -> ConversionPair:
+        """Register a toUniversal/fromUniversal pair (§2.2.2) and notify caches."""
         registered = self.conversions.register(pair)
         self.notify_metadata_change("conversion")
         return registered
@@ -199,6 +203,16 @@ class MTBase:
             constraints=physical_constraints,
             generality=None,
         )
+        if info.is_tenant_specific:
+            # partition-aware backends (the sharded cluster) route loads and
+            # plan scatter-gather from this hint; others inherit the no-op
+            self.backend.register_partitioned_table(
+                info.name,
+                ttid_column,
+                local_key_columns=tuple(
+                    attribute.name for attribute in info.tenant_specific_attributes()
+                ),
+            )
         self.backend.execute(physical)
         self.notify_metadata_change("ddl")
         return info

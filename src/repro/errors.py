@@ -17,7 +17,11 @@ class SQLError(ReproError):
 
 
 class LexerError(SQLError):
-    """Raised when the SQL lexer encounters an invalid character sequence."""
+    """Raised when the SQL lexer encounters an invalid character sequence.
+
+    ``position`` is the character offset of the offending input (-1 when
+    unknown).
+    """
 
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
@@ -25,7 +29,11 @@ class LexerError(SQLError):
 
 
 class ParseError(SQLError):
-    """Raised when the SQL parser cannot build an AST from the token stream."""
+    """Raised when the SQL parser cannot build an AST from the token stream.
+
+    ``position`` is the character offset of the offending token (-1 when
+    unknown).
+    """
 
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
@@ -58,6 +66,18 @@ class ConfigurationError(ReproError):
 
 class BackendError(ReproError):
     """Raised when an execution backend is misused or cannot perform a request."""
+
+
+class SplitError(SQLError):
+    """Raised when a statement cannot be split into per-shard query + merge plan.
+
+    The cluster planner treats this as "not decomposable" and falls back to a
+    strategy that does not need the split (single-shard or federated
+    execution), so user statements never fail with this error."""
+
+
+class ClusterError(BackendError):
+    """Raised when a sharded cluster is misconfigured or misused."""
 
 
 class MTSQLError(ReproError):

@@ -84,13 +84,16 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total plan-cache probes (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
+        """A defensive copy (the reasons dict is mutated in place)."""
         return replace(self, invalidation_reasons=dict(self.invalidation_reasons))
 
 
@@ -134,6 +137,7 @@ class RewriteCache:
     # -- statement info ---------------------------------------------------------
 
     def get_info(self, digest: str) -> Optional[StatementInfo]:
+        """Cached parse-time facts for a fingerprint digest (LRU-touched)."""
         with self._lock:
             info = self._info.get(digest)
             if info is not None:
@@ -141,6 +145,7 @@ class RewriteCache:
             return info
 
     def put_info(self, digest: str, info: StatementInfo, version: Optional[int] = None) -> None:
+        """Cache parse-time facts; rejected when ``version`` is stale."""
         with self._lock:
             if self._disabled or self._version_is_stale(version):
                 return
@@ -152,6 +157,7 @@ class RewriteCache:
     # -- rewritten plans --------------------------------------------------------
 
     def get(self, key: CacheKey) -> Optional[CachedPlan]:
+        """Probe the plan cache (counts a hit/miss, LRU-touches on hit)."""
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
@@ -164,6 +170,7 @@ class RewriteCache:
     def put(
         self, key: CacheKey, rewritten: ast.Select, version: Optional[int] = None
     ) -> CachedPlan:
+        """Cache a rewritten plan; rejected (but returned) when stale."""
         plan = CachedPlan(rewritten=rewritten, key=key)
         with self._lock:
             if self._disabled or self._version_is_stale(version):

@@ -38,6 +38,7 @@ class StatementOutcome:
 
     @property
     def ok(self) -> bool:
+        """Whether the statement completed without raising."""
         return self.error is None
 
 
@@ -51,10 +52,12 @@ class ExecutionReport:
 
     @property
     def statements(self) -> int:
+        """Total statements executed in the run."""
         return len(self.outcomes)
 
     @property
     def errors(self) -> list[StatementOutcome]:
+        """The outcomes that raised."""
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
     @property
@@ -63,9 +66,11 @@ class ExecutionReport:
         return self.statements / self.elapsed if self.elapsed > 0 else 0.0
 
     def outcomes_for(self, session: GatewaySession) -> list[StatementOutcome]:
+        """The outcomes belonging to one session's batch."""
         return [o for o in self.outcomes if o.session_id == session.session_id]
 
     def describe(self) -> str:
+        """One-line human-readable run summary."""
         return (
             f"{self.statements} statements in {self.elapsed:.3f}s "
             f"({self.throughput:.1f} stmt/s; {self.latency.describe()}; "

@@ -73,6 +73,7 @@ class QueryGateway:
 
     @property
     def sessions(self) -> list[GatewaySession]:
+        """Snapshot of the currently registered sessions."""
         with self._lock:
             return list(self._sessions)
 
@@ -95,10 +96,12 @@ class QueryGateway:
         self.cache.invalidate(reason=reason)
 
     def invalidate_cache(self, reason: str = "manual") -> int:
+        """Flush the rewrite cache by hand; returns the dropped entry count."""
         return self.cache.invalidate(reason=reason)
 
     @property
     def cache_stats(self) -> CacheStats:
+        """A consistent snapshot of the rewrite-cache counters."""
         return self.cache.stats_snapshot()
 
     def close(self) -> None:

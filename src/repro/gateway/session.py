@@ -78,17 +78,21 @@ class GatewaySession:
 
     @property
     def client(self) -> int:
+        """The session's tenant C."""
         return self.connection.client
 
     @property
     def scope(self) -> "Scope":
+        """The session's current scope (its data set D)."""
         return self.connection.scope
 
     def set_scope(self, scope) -> None:
+        """``SET SCOPE`` for this session (serialized with its statements)."""
         with self._lock:
             self.connection.set_scope(scope)
 
     def reset_scope(self) -> None:
+        """Restore the default scope (D = {C})."""
         with self._lock:
             self.connection.reset_scope()
 
@@ -107,6 +111,7 @@ class GatewaySession:
             return handle
 
     def close_prepared(self, handle: int) -> None:
+        """Drop one prepared-statement handle (idempotent)."""
         with self._lock:
             self._prepared.pop(handle, None)
 
@@ -144,6 +149,7 @@ class GatewaySession:
             return self.connection.execute(info.statement)
 
     def query(self, statement: Union[str, int], scope=None) -> QueryResult:
+        """Execute a SELECT (text or prepared handle) through the cache."""
         result = self.execute(statement, scope=scope)
         if not isinstance(result, QueryResult):
             raise MTSQLError("query() expects a SELECT statement")
@@ -184,7 +190,8 @@ class GatewaySession:
             self.stats.cache_hits += 1
         self.stats.executed += 1
         connection.last_rewritten = [plan.rewritten]
-        return connection.backend.execute(plan.rewritten)
+        # pass D' along: a sharded backend prunes its shard fan-out with it
+        return connection.backend.execute_scoped(plan.rewritten, dataset=pruned)
 
     def __repr__(self) -> str:
         return (

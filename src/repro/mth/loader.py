@@ -13,8 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..backends import Backend, BackendConnection, as_backend_connection
+from ..backends import (
+    Backend,
+    BackendConnection,
+    ShardedBackend,
+    as_backend_connection,
+    create_backend,
+)
+from ..cluster.placement import PlacementPolicy
 from ..core.middleware import MTBase
+from ..errors import ClusterError
 from . import conversions as conv
 from .dbgen import TPCHData, generate
 from .schema import CREATION_ORDER, MT_DDL, TENANT_SPECIFIC_TABLES, TTID_COLUMNS, plain_ddl
@@ -58,15 +66,39 @@ def load_mth(
     seed: int = 20180326,
     data: Optional[TPCHData] = None,
     backend: Optional[Union[Backend, BackendConnection, str]] = None,
+    shards: Optional[int] = None,
+    placement: Optional[PlacementPolicy] = None,
 ) -> MTHInstance:
     """Generate (or reuse) TPC-H data and load it as a multi-tenant MT-H database.
 
     ``backend`` selects the execution backend (``"engine"``, ``"sqlite"``, a
     :class:`~repro.backends.Backend` or an open connection); the default is a
     fresh in-memory engine with the given UDF-caching ``profile``.
+
+    ``shards`` (and/or an explicit ``placement`` policy) loads a
+    *partitioned* MT-H instance instead: a
+    :class:`~repro.backends.ShardedBackend` cluster of ``shards`` backends of
+    the chosen family, with tenant-specific rows routed to their owner's
+    shard and global tables replicated.  ``backend`` must then be a family
+    name (``"engine"``/``"sqlite"``) or ``None``, since each shard needs its
+    own fresh database.
     """
     if data is None:
         data = generate(scale_factor=scale_factor, seed=seed)
+    if shards is not None or placement is not None:
+        if backend is not None and not isinstance(backend, str):
+            raise ClusterError(
+                "a partitioned load builds one database per shard; pass the "
+                "backend family as a name (e.g. backend='sqlite'), not an "
+                "already-built backend"
+            )
+        family = backend if backend is not None else "engine"
+        backend = ShardedBackend(
+            shards=shards,
+            placement=placement,
+            profile=profile,
+            backend_factory=lambda: create_backend(family, profile=profile),
+        )
     middleware = MTBase(profile=profile, backend=backend)
 
     tenant_ids = list(range(1, tenants + 1))

@@ -21,21 +21,35 @@ from typing import Any, Iterator, Optional, Union
 from .errors import ExecutionError
 
 
-@dataclass
+@dataclass(repr=False)
 class QueryResult:
-    """Result of executing a SELECT: column names plus row tuples."""
+    """Result of executing a SELECT: column names plus row tuples.
+
+    The container protocol mirrors a row list: ``len(result)`` and
+    ``bool(result)`` count/test the rows, ``iter(result)`` yields row tuples.
+    Column access goes through :meth:`column_index` / :meth:`column_values`,
+    which treat names case-insensitively and refuse ambiguous names rather
+    than silently picking one (see :meth:`column_index`).
+    """
 
     columns: list[str]
     rows: list[tuple]
 
     def __len__(self) -> int:
+        """Number of rows (matching ``__bool__`` and ``__iter__``)."""
         return len(self.rows)
 
     def __iter__(self) -> Iterator[tuple]:
+        """Iterate over the row tuples."""
         return iter(self.rows)
 
     def __bool__(self) -> bool:
+        """True when the result has at least one row."""
         return bool(self.rows)
+
+    def __repr__(self) -> str:
+        """Concise summary — the dataclass default would dump every row."""
+        return f"QueryResult(columns={self.columns!r}, rows=<{len(self.rows)} rows>)"
 
     def column_index(self, name: str) -> int:
         """Position of the result column ``name`` (case-insensitive).
@@ -58,16 +72,21 @@ class QueryResult:
         return matches[0]
 
     def column_values(self, name: str) -> list[Any]:
+        """All values of the (unambiguous) result column ``name``, row order."""
         index = self.column_index(name)
         return [row[index] for row in self.rows]
 
     def as_dicts(self) -> list[dict[str, Any]]:
+        """The rows as ``{column: value}`` dicts (later duplicate names win)."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
     def first(self) -> Optional[tuple]:
+        """The first row, or ``None`` for an empty result."""
         return self.rows[0] if self.rows else None
 
     def scalar(self) -> Any:
+        """The first column of the first row (``None`` when empty) — for
+        single-value queries like ``SELECT COUNT(*) ...``."""
         if not self.rows or not self.rows[0]:
             return None
         return self.rows[0][0]
@@ -117,6 +136,7 @@ class ExecutionStats:
             self.udf_cache_hits += 1 - executed
 
     def reset(self) -> None:
+        """Zero every counter (between benchmark runs)."""
         with self._lock:
             self.udf_calls = 0
             self.udf_executions = 0

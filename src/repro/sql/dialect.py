@@ -51,11 +51,13 @@ class Dialect:
         return name
 
     def qualified_identifier(self, name: str, table: Optional[str] = None) -> str:
+        """``table.name`` with each part quoted as required."""
         if table:
             return f"{self.quote_identifier(table)}.{self.quote_identifier(name)}"
         return self.quote_identifier(name)
 
     def needs_quoting(self, name: str) -> bool:
+        """Whether ``name`` must be quoted (reserved word or unsafe chars)."""
         if not self.reserved_words:
             return False
         return (
@@ -76,6 +78,7 @@ class Dialect:
     # -- literals ------------------------------------------------------------
 
     def format_literal(self, value: Any) -> str:
+        """Render any Python literal value in this dialect's spelling."""
         if value is None:
             return "NULL"
         if isinstance(value, bool):
@@ -91,23 +94,29 @@ class Dialect:
         return self.format_string(str(value))
 
     def format_string(self, value: str) -> str:
+        """A single-quoted string literal (quotes doubled)."""
         return "'" + value.replace("'", "''") + "'"
 
     def format_boolean(self, value: bool) -> str:
+        """A boolean literal (ANSI ``TRUE``/``FALSE``)."""
         return "TRUE" if value else "FALSE"
 
     def format_date(self, value: Date) -> str:
+        """A date literal (ANSI ``DATE '...'``)."""
         return f"DATE '{value}'"
 
     def format_interval(self, value: Interval) -> str:
+        """An interval literal (ANSI ``INTERVAL 'n' UNIT``)."""
         return f"INTERVAL '{value.amount}' {value.unit.value}"
 
     # -- idioms --------------------------------------------------------------
 
     def render_extract(self, part: str, operand: str) -> str:
+        """``EXTRACT(part FROM operand)`` in this dialect's spelling."""
         return f"EXTRACT({part} FROM {operand})"
 
     def render_substring(self, expr: str, start: str, length: Optional[str]) -> str:
+        """``SUBSTRING(expr FROM start [FOR length])`` in this dialect."""
         if length is None:
             return f"SUBSTRING({expr} FROM {start})"
         return f"SUBSTRING({expr} FROM {start} FOR {length})"
@@ -173,30 +182,37 @@ class SQLiteDialect(Dialect):
     }
 
     def needs_quoting(self, name: str) -> bool:
+        """SQLite quotes unsafe names and its (long) reserved-word list."""
         return not _SAFE_IDENTIFIER.match(name) or name.upper() in self.reserved_words
 
     def placeholder(self, index: int) -> str:
+        """SQLite's numbered ``?NNN`` parameter style."""
         return f"?{index}"
 
     def format_boolean(self, value: bool) -> str:
+        """SQLite has no booleans; integers 1/0."""
         return "1" if value else "0"
 
     def format_date(self, value: Date) -> str:
+        """Dates are ISO-8601 TEXT (string comparison preserves order)."""
         return f"'{value}'"
 
     def format_interval(self, value: Interval) -> str:
+        """Rejected: intervals only exist inside date arithmetic here."""
         raise SQLError(
             "SQLite has no interval literals; intervals are only valid as the "
             "right operand of date arithmetic"
         )
 
     def render_extract(self, part: str, operand: str) -> str:
+        """``EXTRACT`` via ``strftime`` + CAST."""
         fmt = self._STRFTIME_PARTS.get(part.upper())
         if fmt is None:
             raise SQLError(f"cannot EXTRACT({part} ...) in the sqlite dialect")
         return f"CAST(strftime('{fmt}', {operand}) AS INTEGER)"
 
     def render_substring(self, expr: str, start: str, length: Optional[str]) -> str:
+        """``SUBSTRING`` via SQLite's comma-style ``SUBSTR``."""
         if length is None:
             return f"SUBSTR({expr}, {start})"
         return f"SUBSTR({expr}, {start}, {length})"
@@ -204,6 +220,7 @@ class SQLiteDialect(Dialect):
     def render_date_arithmetic(
         self, left: str, op: str, interval: Interval
     ) -> Optional[str]:
+        """``date ± INTERVAL`` via ``date(x, '+N unit')`` modifiers."""
         if op not in ("+", "-"):
             return None
         # fold the operator into the amount: INTERVAL '-3' DAY subtracted is
@@ -217,6 +234,7 @@ class SQLiteDialect(Dialect):
         return f"date({left}, '{signed:+d} {unit}')"
 
     def render_type(self, type_name: str) -> str:
+        """Map catalog types onto SQLite's affinities (DECIMAL→REAL, ...)."""
         base = type_name.strip().upper()
         if "(" in base:
             base = base[: base.index("(")].strip()
@@ -233,6 +251,7 @@ DIALECTS: dict[str, Dialect] = {
 
 
 def get_dialect(name: str) -> Dialect:
+    """Look a dialect up by name (``"default"``, ``"sqlite"``)."""
     try:
         return DIALECTS[name.lower()]
     except KeyError as exc:

@@ -7,14 +7,29 @@ transformed recursively and the node is rebuilt.  Sub-queries nested inside
 expressions are left untouched unless ``descend_subqueries`` is set, in which
 case their SELECT/WHERE/... expressions are transformed with the same
 function.
+
+The second half of the module splits a (rewritten, plain-SQL) ``SELECT`` into
+a *per-shard query* plus a *merge plan* for scatter-gather execution over a
+tenant-partitioned cluster (:mod:`repro.cluster`):
+
+* :func:`split_row_stream` — non-aggregate queries: the shards stream rows,
+  the coordinator re-sorts, deduplicates and applies ``LIMIT``,
+* :func:`split_partial_aggregates` — aggregate queries: the shards compute
+  partial aggregates per group (``AVG`` decomposed into ``SUM``/``COUNT``),
+  the coordinator re-aggregates and re-applies ``HAVING``/``ORDER BY``.
+
+Both raise :class:`~repro.errors.SplitError` when the statement has no such
+decomposition; the cluster planner then falls back to a plan that does not
+need one.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import replace
-from typing import Callable, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional, Union
 
+from ..errors import SplitError
 from . import ast
 
 TransformFn = Callable[[ast.Expression], Optional[ast.Expression]]
@@ -116,6 +131,7 @@ def transform_select(select: ast.Select, fn: TransformFn) -> ast.Select:
 
 
 def transform_from_item(item: ast.FromItem, fn: TransformFn) -> ast.FromItem:
+    """Apply an expression transform to one FROM item (recursing into joins)."""
     if isinstance(item, ast.TableRef):
         return ast.TableRef(name=item.name, alias=item.alias)
     if isinstance(item, ast.SubqueryRef):
@@ -175,3 +191,276 @@ def walk_expression(expr: Optional[ast.Expression]):
         yield from walk_expression(expr.expr)
         yield from walk_expression(expr.start)
         yield from walk_expression(expr.length)
+
+
+# ---------------------------------------------------------------------------
+# Statement-level walks used by the cluster planner
+# ---------------------------------------------------------------------------
+
+
+def walk_selects(select: ast.Select) -> Iterator[ast.Select]:
+    """Yield a SELECT and every sub-query nested anywhere inside it."""
+    yield select
+    for item in select.from_items:
+        yield from _walk_from_selects(item)
+    for expr in iter_select_expressions(select):
+        for node in walk_expression(expr):
+            if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                yield from walk_selects(node.query)
+
+
+def _walk_from_selects(item: ast.FromItem) -> Iterator[ast.Select]:
+    if isinstance(item, ast.SubqueryRef):
+        yield from walk_selects(item.query)
+    elif isinstance(item, ast.Join):
+        yield from _walk_from_selects(item.left)
+        yield from _walk_from_selects(item.right)
+
+
+def iter_select_expressions(select: ast.Select) -> Iterator[ast.Expression]:
+    """Yield every top-level expression of one SELECT (not of its FROM items)."""
+    for item in select.items:
+        yield item.expr
+    for conjunct in _join_conditions(select.from_items):
+        yield conjunct
+    if select.where is not None:
+        yield select.where
+    for expr in select.group_by:
+        yield expr
+    if select.having is not None:
+        yield select.having
+    for order in select.order_by:
+        yield order.expr
+
+
+def _join_conditions(from_items: list[ast.FromItem]) -> Iterator[ast.Expression]:
+    for item in from_items:
+        if isinstance(item, ast.Join):
+            if item.condition is not None:
+                yield item.condition
+            yield from _join_conditions([item.left, item.right])
+
+
+def referenced_table_names(statement: Union[ast.Select, ast.Statement]) -> set[str]:
+    """Lower-cased names of every base table / view a statement references.
+
+    For DML this includes tables referenced by sub-queries in the ``WHERE``
+    clause and (for ``UPDATE``) in assignment values — the cluster layer
+    routes on the full reference set, not just the target table.
+    """
+    names: set[str] = set()
+    if isinstance(statement, ast.Select):
+        for select in walk_selects(statement):
+            for item in select.from_items:
+                _collect_table_names(item, names)
+    elif isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+        names.add(statement.table.lower())
+        if isinstance(statement, ast.Insert) and statement.query is not None:
+            names |= referenced_table_names(statement.query)
+        expressions: list[Optional[ast.Expression]] = []
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            expressions.append(statement.where)
+        if isinstance(statement, ast.Update):
+            expressions.extend(assignment.value for assignment in statement.assignments)
+        for expr in expressions:
+            for node in walk_expression(expr):
+                if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                    names |= referenced_table_names(node.query)
+    return names
+
+
+def _collect_table_names(item: ast.FromItem, names: set[str]) -> None:
+    if isinstance(item, ast.TableRef):
+        names.add(item.name.lower())
+    elif isinstance(item, ast.Join):
+        _collect_table_names(item.left, names)
+        _collect_table_names(item.right, names)
+    # SubqueryRef tables are collected by walk_selects
+
+
+def find_aggregate_calls(expr: Optional[ast.Expression]) -> list[ast.FunctionCall]:
+    """All aggregate calls in an expression (sub-queries excluded)."""
+    return [
+        node
+        for node in walk_expression(expr)
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate
+    ]
+
+
+def select_aggregate_calls(select: ast.Select) -> list[ast.FunctionCall]:
+    """Aggregate calls of one SELECT's own clauses (items, HAVING, ORDER BY)."""
+    aggregates: list[ast.FunctionCall] = []
+    for item in select.items:
+        aggregates.extend(find_aggregate_calls(item.expr))
+    aggregates.extend(find_aggregate_calls(select.having))
+    for order in select.order_by:
+        aggregates.extend(find_aggregate_calls(order.expr))
+    return aggregates
+
+
+# ---------------------------------------------------------------------------
+# Per-shard query + merge plan splits
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowStreamSplit:
+    """A non-aggregate query split for scatter-gather execution.
+
+    The per-shard query keeps the original SELECT list (plus hidden trailing
+    sort-key columns when ``ORDER BY`` references an expression that is not
+    in the SELECT list); the coordinator concatenates the shard streams,
+    re-sorts on ``sort_columns``, deduplicates when ``distinct`` and applies
+    ``limit``, then strips the hidden columns down to ``visible_width``.
+    """
+
+    shard_query: ast.Select
+    visible_width: int
+    sort_columns: tuple[tuple[int, bool], ...]  # (row position, descending)
+    limit: Optional[int]
+    distinct: bool
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """How one aggregate call is merged from per-shard partial columns.
+
+    ``kind`` is the merge rule — ``sum``/``count`` add partials, ``min``/
+    ``max`` keep the extremum and ``avg`` divides a partial-SUM column by a
+    partial-COUNT column (the classic AVG = SUM ÷ COUNT decomposition).
+    ``columns`` are the positions of the partial column(s) in the per-shard
+    result row (one position, except two for ``avg``).
+    """
+
+    text: str
+    kind: str
+    columns: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AggregateSplit:
+    """An aggregate query split into per-shard partials plus a merge plan.
+
+    The per-shard query projects the group-key expressions first (positions
+    ``0 .. len(key_texts)-1``) followed by the partial-aggregate columns; it
+    drops ``HAVING``/``ORDER BY``/``LIMIT``/``DISTINCT``, which the
+    coordinator re-applies after re-aggregation.  ``key_texts`` are the
+    printed group-key expressions — the merge evaluator binds them (and each
+    :class:`PartialAggregate`'s ``text``) to merged values when evaluating
+    the final SELECT list, ``HAVING`` and ``ORDER BY``.
+    """
+
+    shard_query: ast.Select
+    key_texts: tuple[str, ...]
+    partials: tuple[PartialAggregate, ...]
+
+
+_MERGEABLE_AGGREGATES = frozenset({"SUM", "COUNT", "MIN", "MAX", "AVG"})
+
+
+def split_row_stream(select: ast.Select) -> RowStreamSplit:
+    """Split a non-aggregate SELECT into a per-shard stream + merge ordering.
+
+    Raises :class:`SplitError` for aggregate/grouped queries and for DISTINCT
+    queries whose ORDER BY is not part of the SELECT list (a hidden sort
+    column would change the DISTINCT row identity).
+    """
+    if select.group_by or select_aggregate_calls(select):
+        raise SplitError("row-stream split needs a non-aggregate query")
+    shard_query = clone_select(select)
+    shard_query.order_by = []
+    shard_query.limit = None
+
+    visible_width = len(select.items)
+    sort_columns: list[tuple[int, bool]] = []
+    alias_positions = {
+        item.alias.lower(): position
+        for position, item in enumerate(select.items)
+        if item.alias is not None
+    }
+    item_positions = {
+        ast.Node.to_sql(item.expr): position for position, item in enumerate(select.items)
+    }
+    for order in select.order_by:
+        position = _order_key_position(order.expr, alias_positions, item_positions)
+        if position is None:
+            if select.distinct:
+                raise SplitError(
+                    "DISTINCT with an ORDER BY key outside the SELECT list"
+                )
+            position = len(shard_query.items)
+            shard_query.items.append(ast.SelectItem(expr=order.expr, alias=None))
+        sort_columns.append((position, order.descending))
+    return RowStreamSplit(
+        shard_query=shard_query,
+        visible_width=visible_width,
+        sort_columns=tuple(sort_columns),
+        limit=select.limit,
+        distinct=select.distinct,
+    )
+
+
+def _order_key_position(
+    expr: ast.Expression,
+    alias_positions: dict[str, int],
+    item_positions: dict[str, int],
+) -> Optional[int]:
+    if isinstance(expr, ast.Column) and expr.table is None:
+        position = alias_positions.get(expr.name.lower())
+        if position is not None:
+            return position
+    return item_positions.get(ast.Node.to_sql(expr))
+
+
+def split_partial_aggregates(select: ast.Select) -> AggregateSplit:
+    """Split an aggregate SELECT into per-shard partials plus a merge plan.
+
+    Raises :class:`SplitError` when any aggregate is not partial-mergeable
+    (DISTINCT aggregates, unknown functions).
+    """
+    aggregates = select_aggregate_calls(select)
+    if not aggregates and not select.group_by:
+        raise SplitError("partial-aggregate split needs an aggregate query")
+
+    unique: dict[str, ast.FunctionCall] = {}
+    for call in aggregates:
+        unique.setdefault(ast.Node.to_sql(call), call)
+
+    key_texts = tuple(ast.Node.to_sql(expr) for expr in select.group_by)
+    items = [
+        ast.SelectItem(expr=expr, alias=f"mt_key_{position}")
+        for position, expr in enumerate(select.group_by)
+    ]
+    partials: list[PartialAggregate] = []
+    for text, call in unique.items():
+        if call.distinct or call.name.upper() not in _MERGEABLE_AGGREGATES:
+            raise SplitError(f"aggregate {text} is not partial-mergeable")
+        if call.name.upper() == "AVG":
+            columns = (len(items), len(items) + 1)
+            items.append(
+                ast.SelectItem(
+                    expr=ast.func("SUM", *call.args), alias=f"mt_part_{len(partials)}s"
+                )
+            )
+            items.append(
+                ast.SelectItem(
+                    expr=ast.func("COUNT", *call.args), alias=f"mt_part_{len(partials)}c"
+                )
+            )
+            partials.append(PartialAggregate(text=text, kind="avg", columns=columns))
+        else:
+            columns = (len(items),)
+            items.append(ast.SelectItem(expr=call, alias=f"mt_part_{len(partials)}"))
+            partials.append(
+                PartialAggregate(text=text, kind=call.name.lower(), columns=columns)
+            )
+
+    shard_query = clone_select(select)
+    shard_query.items = items
+    shard_query.having = None
+    shard_query.order_by = []
+    shard_query.limit = None
+    shard_query.distinct = False
+    return AggregateSplit(
+        shard_query=shard_query, key_texts=key_texts, partials=tuple(partials)
+    )

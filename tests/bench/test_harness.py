@@ -78,7 +78,8 @@ class TestWorkloadSetup:
     def test_sqlite_backend_workload_serves_queries(self):
         config = WorkloadConfig(scale_factor=0.0005, tenants=2, backend="sqlite")
         workload = load_workload(config)
-        assert workload.backend.dialect.name == "sqlite"
+        # under REPRO_BENCH_SHARDS the dialect name carries a "+Nsh" suffix
+        assert workload.backend.dialect.name.split("+")[0] == "sqlite"
         assert workload.baseline.dialect.name == "sqlite"
         connection = workload.connection(client=1, dataset="all")
         mt_rows = connection.query("SELECT COUNT(*) FROM lineitem").scalar()
@@ -181,3 +182,52 @@ class TestReporting:
         )
         text = render_scaling(result)
         assert "Figure 5" in text and "T=1" in text
+
+
+class TestShardScaling:
+    def test_run_shard_scaling_produces_series(self):
+        from repro.bench import run_shard_scaling
+
+        result = run_shard_scaling(
+            shard_counts=(1, 2),
+            query_ids=(6, 11),
+            scale_factor=0.0005,
+            tenants=4,
+        )
+        assert result.tenants == 4
+        series = result.series(6, dataset="all")
+        assert [shards for shards, _ in series] == [1, 2]
+        assert all(relative > 0 for _, relative in series)
+        plans = {row["plan"] for row in result.rows() if row["query"] == 11}
+        assert all(plan.startswith("single-shard") for plan in plans)
+        single_points = [row for row in result.rows() if row["dataset"] == "single"]
+        assert single_points  # the fast-path leg is part of the sweep
+
+    def test_env_shards_override(self, monkeypatch):
+        from repro.bench.workload import env_shards
+        from repro.errors import ConfigurationError
+
+        monkeypatch.delenv("REPRO_BENCH_SHARDS", raising=False)
+        assert env_shards() == 0
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "2")
+        assert env_shards() == 2
+        assert WorkloadConfig(scale_factor=0.0005, tenants=2).shards == 2
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "nope")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_SHARDS"):
+            env_shards()
+        monkeypatch.setenv("REPRO_BENCH_SHARDS", "-1")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_SHARDS"):
+            env_shards()
+
+    def test_sharded_workload_serves_queries(self):
+        from repro.backends import ShardedConnection
+        from repro.mth.queries import query_text
+
+        config = WorkloadConfig(scale_factor=0.0005, tenants=4, shards=2)
+        workload = load_workload(config)
+        assert isinstance(workload.backend, ShardedConnection)
+        connection = workload.connection(client=1, optimization="o4", dataset="all")
+        assert connection.query(query_text(6)).rows
+        # same logical row counts as the unsharded baseline database
+        assert workload.backend.table_rowcount("lineitem") == \
+            workload.baseline.table_rowcount("lineitem")

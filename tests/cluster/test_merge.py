@@ -1,0 +1,157 @@
+"""Unit tests for partial-aggregate merging and the merge evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MergeEvaluator, merge_partial_rows, sort_rows
+from repro.cluster.merge import default_scalar_functions
+from repro.errors import ExecutionError
+from repro.sql.parser import parse_query
+from repro.sql.transform import (
+    PartialAggregate,
+    split_partial_aggregates,
+    split_row_stream,
+)
+
+
+def _merge(rows, key_width, partials):
+    groups = merge_partial_rows(rows, key_width, partials)
+    return {
+        key: tuple(state.result() for state in states)
+        for key, states in groups.items()
+    }
+
+
+class TestPartialMerge:
+    def test_sum_count_min_max_across_shards(self):
+        partials = (
+            PartialAggregate(text="SUM(x)", kind="sum", columns=(1,)),
+            PartialAggregate(text="COUNT(x)", kind="count", columns=(2,)),
+            PartialAggregate(text="MIN(x)", kind="min", columns=(3,)),
+            PartialAggregate(text="MAX(x)", kind="max", columns=(4,)),
+        )
+        rows = [
+            ("a", 10.0, 2, 1, 9),  # shard 0
+            ("a", 5.0, 1, 0, 5),  # shard 1
+            ("b", 7.0, 3, 2, 4),  # shard 1 only
+        ]
+        merged = _merge(rows, 1, partials)
+        assert merged[("a",)] == (15.0, 3, 0, 9)
+        assert merged[("b",)] == (7.0, 3, 2, 4)
+
+    def test_avg_is_global_sum_over_global_count(self):
+        """AVG must not average the per-shard averages."""
+        partials = (PartialAggregate(text="AVG(x)", kind="avg", columns=(0, 1)),)
+        # shard 0: one row of 10; shard 1: three rows of 1 -> global AVG 3.25
+        merged = _merge([(10.0, 1), (3.0, 3)], 0, partials)
+        assert merged[()] == (3.25,)
+
+    def test_null_semantics(self):
+        """SUM of an all-NULL group is NULL; AVG of an empty group is NULL;
+        COUNT is 0 — matching the engine's aggregates."""
+        partials = (
+            PartialAggregate(text="SUM(x)", kind="sum", columns=(0,)),
+            PartialAggregate(text="COUNT(x)", kind="count", columns=(1,)),
+            PartialAggregate(text="AVG(x)", kind="avg", columns=(0, 1)),
+            PartialAggregate(text="MIN(x)", kind="min", columns=(2,)),
+        )
+        merged = _merge([(None, 0, None), (None, 0, None)], 0, partials)
+        assert merged[()] == (None, 0, None, None)
+
+
+class TestMergeEvaluator:
+    def test_arithmetic_over_bindings(self):
+        query = parse_query("SELECT SUM(a) / SUM(b) AS ratio FROM t")
+        expr = query.items[0].expr
+        evaluator = MergeEvaluator({"SUM(a)": 10.0, "SUM(b)": 4.0})
+        assert evaluator.evaluate(expr) == 2.5
+
+    def test_case_and_comparison(self):
+        query = parse_query(
+            "SELECT CASE WHEN SUM(a) > 5 THEN 'big' ELSE 'small' END FROM t"
+        )
+        expr = query.items[0].expr
+        assert MergeEvaluator({"SUM(a)": 10}).evaluate(expr) == "big"
+        assert MergeEvaluator({"SUM(a)": 1}).evaluate(expr) == "small"
+
+    def test_division_by_zero_matches_engine(self):
+        query = parse_query("SELECT SUM(a) / SUM(b) FROM t")
+        expr = query.items[0].expr
+        with pytest.raises(ExecutionError, match="division by zero"):
+            MergeEvaluator({"SUM(a)": 1.0, "SUM(b)": 0}).evaluate(expr)
+
+    def test_null_propagation(self):
+        query = parse_query("SELECT SUM(a) * 2 FROM t")
+        expr = query.items[0].expr
+        assert MergeEvaluator({"SUM(a)": None}).evaluate(expr) is None
+
+    def test_alias_lookup_for_having_and_order(self):
+        query = parse_query("SELECT SUM(a) AS total FROM t GROUP BY g HAVING total > 3")
+        evaluator = MergeEvaluator({}, aliases={"total": 7})
+        assert evaluator.evaluate(query.having) is True
+
+    def test_scalar_functions(self):
+        """COALESCE and registered Python UDFs evaluate post-merge."""
+        functions = default_scalar_functions()
+        functions["my_rate"] = lambda key: {1: 2.0}[key]
+        query = parse_query("SELECT COALESCE(SUM(a), 0) * my_rate(1) FROM t")
+        expr = query.items[0].expr
+        assert MergeEvaluator({"SUM(a)": None}, functions=functions).evaluate(expr) == 0.0
+        assert MergeEvaluator({"SUM(a)": 3.0}, functions=functions).evaluate(expr) == 6.0
+
+    def test_unknown_function_raises(self):
+        query = parse_query("SELECT mystery(1) FROM t")
+        with pytest.raises(ExecutionError, match="cannot evaluate"):
+            MergeEvaluator({}).evaluate(query.items[0].expr)
+
+
+class TestSortRows:
+    def test_stable_multi_key_mixed_directions(self):
+        rows = [(1, "b"), (2, "a"), (1, "a"), (2, "b")]
+        ordered = sort_rows(rows, [(0, False), (1, True)])
+        assert ordered == [(1, "b"), (1, "a"), (2, "b"), (2, "a")]
+
+    def test_nulls_sort_first_like_the_engine(self):
+        rows = [(3,), (None,), (1,)]
+        assert sort_rows(rows, [(0, False)]) == [(None,), (1,), (3,)]
+
+
+class TestSplits:
+    def test_split_partial_aggregates_layout(self):
+        query = parse_query(
+            "SELECT g, SUM(a) AS s, AVG(b) AS m, COUNT(*) AS n FROM t GROUP BY g "
+            "HAVING SUM(a) > 1 ORDER BY s DESC LIMIT 5"
+        )
+        split = split_partial_aggregates(query)
+        assert split.key_texts == ("g",)
+        kinds = [partial.kind for partial in split.partials]
+        assert kinds == ["sum", "avg", "count"]
+        # shard query: keys first, then partials; merge clauses stripped
+        assert split.shard_query.having is None
+        assert split.shard_query.order_by == []
+        assert split.shard_query.limit is None
+        assert len(split.shard_query.items) == 1 + 4  # g + sum + (avg sum, avg count) + count
+
+    def test_split_rejects_distinct_aggregates(self):
+        from repro.errors import SplitError
+
+        query = parse_query("SELECT COUNT(DISTINCT a) FROM t")
+        with pytest.raises(SplitError, match="not partial-mergeable"):
+            split_partial_aggregates(query)
+
+    def test_split_row_stream_hidden_sort_columns(self):
+        query = parse_query("SELECT a, b FROM t ORDER BY c DESC, a LIMIT 3")
+        split = split_row_stream(query)
+        assert split.visible_width == 2
+        assert len(split.shard_query.items) == 3  # c appended as hidden key
+        assert split.sort_columns == ((2, True), (0, False))
+        assert split.limit == 3
+        assert split.shard_query.limit is None
+
+    def test_split_row_stream_rejects_distinct_with_hidden_key(self):
+        from repro.errors import SplitError
+
+        query = parse_query("SELECT DISTINCT a FROM t ORDER BY b")
+        with pytest.raises(SplitError, match="DISTINCT"):
+            split_row_stream(query)

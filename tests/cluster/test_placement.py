@@ -1,0 +1,67 @@
+"""Unit tests for the tenant placement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ExplicitPlacement, HashPlacement
+from repro.errors import ClusterError
+
+
+class TestHashPlacement:
+    def test_deterministic_and_in_range(self):
+        placement = HashPlacement(4)
+        for ttid in range(1, 1000):
+            shard = placement.shard_of(ttid)
+            assert 0 <= shard < 4
+            assert placement.shard_of(ttid) == shard  # stable
+
+    def test_consecutive_tenants_spread(self):
+        """The micro-benchmark populations (ttids 1..N) must not pile up."""
+        placement = HashPlacement(4)
+        assert {placement.shard_of(ttid) for ttid in (1, 2, 3, 4)} == {0, 1, 2, 3}
+
+    def test_balance_over_many_tenants(self):
+        placement = HashPlacement(8)
+        counts = [0] * 8
+        for ttid in range(1, 10_001):
+            counts[placement.shard_of(ttid)] += 1
+        assert min(counts) > 0.8 * (10_000 / 8)
+        assert max(counts) < 1.2 * (10_000 / 8)
+
+    def test_shards_for_prunes_and_sorts(self):
+        placement = HashPlacement(4)
+        assert placement.shards_for(None) == (0, 1, 2, 3)
+        assert placement.shards_for(()) == (0,)
+        single = placement.shards_for([2])
+        assert single == (placement.shard_of(2),)
+        subset = placement.shards_for([1, 2, 3, 4])
+        assert subset == (0, 1, 2, 3)
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ClusterError, match="at least one shard"):
+            HashPlacement(0)
+
+
+class TestExplicitPlacement:
+    def test_lookup_and_default(self):
+        placement = ExplicitPlacement({1: 0, 2: 1, 3: 1}, shard_count=3, default_shard=2)
+        assert placement.shard_of(1) == 0
+        assert placement.shard_of(2) == 1
+        assert placement.shard_of(99) == 2  # default
+        assert placement.shards_for([2, 3]) == (1,)
+
+    def test_shard_count_derived_from_assignments(self):
+        placement = ExplicitPlacement({1: 0, 2: 3})
+        assert placement.shard_count == 4
+
+    def test_unknown_tenant_without_default_raises(self):
+        placement = ExplicitPlacement({1: 0}, shard_count=2)
+        with pytest.raises(ClusterError, match="no explicit placement"):
+            placement.shard_of(7)
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ClusterError, match="outside"):
+            ExplicitPlacement({1: 5}, shard_count=2)
+        with pytest.raises(ClusterError, match="outside"):
+            ExplicitPlacement({1: 0}, shard_count=2, default_shard=9)

@@ -161,9 +161,13 @@ def paper_mt() -> MTBase:
     return build_paper_example()
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def paper_example_factory():
-    """The builder itself, for tests that pick profile/backend per case."""
+    """The builder itself, for tests that pick profile/backend per case.
+
+    Session-scoped on purpose: the fixture yields the (stateless) builder
+    function, so wider-scoped fixtures may depend on it.
+    """
     return build_paper_example
 
 

@@ -1,0 +1,57 @@
+"""Documentation health: the docs/ tree, link integrity and doc coverage.
+
+Wires ``tools/check_links.py`` and ``tools/check_docstrings.py`` into the
+tier-1 suite so CI fails on a broken docs link or an undocumented public
+API — the same checks the standalone scripts run.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docstrings  # noqa: E402
+import check_links  # noqa: E402
+
+REQUIRED_DOCS = (
+    "docs/architecture.md",
+    "docs/paper-mapping.md",
+    "docs/backends.md",
+    "docs/glossary.md",
+)
+
+
+def test_docs_tree_exists():
+    for relative in REQUIRED_DOCS:
+        path = REPO_ROOT / relative
+        assert path.exists(), f"missing {relative}"
+        assert path.read_text(encoding="utf-8").strip(), f"{relative} is empty"
+
+
+def test_readme_points_into_docs():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for relative in REQUIRED_DOCS:
+        assert relative in readme, f"README does not link {relative}"
+
+
+def test_markdown_links_resolve():
+    assert check_links.check() == []
+
+
+def test_public_api_doc_coverage():
+    assert check_docstrings.check() == []
+
+
+def test_tools_run_as_scripts():
+    """The CI steps invoke the tools directly; they must exit 0."""
+    for tool in ("check_links.py", "check_docstrings.py"):
+        completed = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / tool)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr

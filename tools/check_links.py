@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link check for the repository's documentation.
+
+Scans the checked markdown files (README plus everything under ``docs/``)
+for ``[text](target)`` links and verifies that
+
+* relative file targets exist (resolved against the linking file),
+* fragment targets (``file.md#anchor`` or ``#anchor``) name a heading that
+  actually exists in the target file (GitHub anchor slugging),
+* ``http(s)`` links are *not* fetched — CI runs offline — but must at least
+  parse as absolute URLs.
+
+Run directly (``python tools/check_links.py``) or through
+``tests/test_docs.py``; exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files held to the link check
+CHECKED_FILES = ("README.md", "docs")
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchor_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_anchor_slug(match) for match in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def _markdown_files() -> list[Path]:
+    files: list[Path] = []
+    for entry in CHECKED_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("**/*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check() -> list[str]:
+    """Return every broken link as ``file: target (reason)`` (empty = clean)."""
+    problems: list[str] = []
+    for source in _markdown_files():
+        text = source.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            label = source.relative_to(REPO_ROOT)
+            if target.startswith(("http://", "https://")):
+                continue  # offline CI: presence is enough
+            if target.startswith("mailto:"):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (source.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{label}: {target} (missing file)")
+                    continue
+            else:
+                resolved = source
+            if fragment:
+                if resolved.suffix != ".md" or fragment not in _anchors_of(resolved):
+                    problems.append(f"{label}: {target} (missing anchor)")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print(f"link check: {len(problems)} broken link(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"link check: OK ({len(_markdown_files())} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
