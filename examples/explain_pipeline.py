@@ -1,0 +1,51 @@
+"""Demo: the staged MTSQL→SQL compilation pipeline and ``explain()``.
+
+Loads a tiny MT-H instance and prints the staged compilation of two MT-H
+queries — Q6 (a conversion-heavy aggregate) and Q22 (conversions compared
+against a scalar sub-query) — at O1 (trivial optimizations only) vs. O4 (all
+passes), showing per-stage wall time, AST-size deltas, fired-rule counts,
+the conversion-call census and the SQL after every stage.
+
+Run with ``PYTHONPATH=src python examples/explain_pipeline.py``.
+"""
+
+from repro.mth.dbgen import generate
+from repro.mth.loader import load_mth
+from repro.mth.queries import query_text
+
+QUERIES = (6, 22)
+LEVELS = ("o1", "o4")
+
+
+def main() -> None:
+    """Print the staged compilation of two MT-H queries at O1 vs. O4."""
+    print("loading a tiny MT-H instance (4 tenants, uniform shares)...")
+    data = generate(scale_factor=0.001, seed=7)
+    mth = load_mth(data=data, tenants=4, distribution="uniform")
+
+    for query_id in QUERIES:
+        for level in LEVELS:
+            connection = mth.middleware.connect(1, optimization=level)
+            connection.set_scope("IN (1, 3)")
+            report = connection.explain(query_text(query_id))
+            banner = f" MT-H Q{query_id} at {level} "
+            print()
+            print(banner.center(72, "="))
+            print(report.render())
+
+        # the point of the optimization levels, in one number:
+        o1 = mth.middleware.connect(1, optimization="o1")
+        o1.set_scope("IN (1, 3)")
+        o4 = mth.middleware.connect(1, optimization="o4")
+        o4.set_scope("IN (1, 3)")
+        census_o1 = o1.compile(query_text(query_id)).conversions.final_total
+        census_o4 = o4.compile(query_text(query_id)).conversions.final_total
+        print()
+        print(
+            f"Q{query_id}: conversion calls left for the DBMS — "
+            f"o1: {census_o1}, o4: {census_o4}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@ The package is organized in layers (see ``docs/architecture.md``):
 * :mod:`repro.core`     — MTSQL semantics: conversion functions, scopes,
   privileges, the canonical rewrite algorithm, the optimizer and the MTBase
   middleware/client,
+* :mod:`repro.compile`  — the staged MTSQL→SQL compilation pipeline: pass
+  registry, per-level pass lists, the ``CompiledQuery`` artifact and
+  ``explain()``,
 * :mod:`repro.backends` — the execution-backend protocol with engine, SQLite
   and sharded-cluster implementations,
 * :mod:`repro.cluster`  — tenant placement, the distributed query planner and

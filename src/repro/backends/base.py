@@ -22,7 +22,7 @@ library's :mod:`sqlite3`).
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
 
 from ..errors import BackendError
 from ..result import ExecuteResult, ExecutionStats, QueryResult
@@ -30,6 +30,9 @@ from ..sql import ast
 from ..sql.dialect import Dialect
 from ..sql.parser import parse_statements
 from ..sql.types import Date
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile.artifact import CompiledQuery
 
 Statement = Union[str, ast.Statement]
 
@@ -71,6 +74,7 @@ class BackendConnection(abc.ABC):
         statement: Statement,
         dataset: Optional[Sequence[int]] = None,
         parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
     ) -> ExecuteResult:
         """Execute a statement known to touch only the tenants in ``dataset``.
 
@@ -79,6 +83,12 @@ class BackendConnection(abc.ABC):
         already embeds its ttid predicates).  Single-database backends ignore
         it; a sharded backend uses it to prune the shard fan-out (the
         single-shard fast path).  ``None`` means "unknown", not "empty".
+
+        ``compiled`` is the statement's :class:`~repro.compile.CompiledQuery`
+        artifact when it came through the middleware pipeline.  Backends that
+        plan (the sharded cluster) consume its shardability analysis instead
+        of re-walking the AST and memoize derived plans in the artifact's
+        ``attachments``; single-database backends ignore it.
         """
         return self.execute(statement, parameters=parameters)
 

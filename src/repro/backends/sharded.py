@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
 from ..cluster.coordinator import ShardCoordinator
 from ..cluster.merge import default_scalar_functions
@@ -44,6 +44,9 @@ from ..sql import ast
 from ..sql.dialect import Dialect
 from ..sql.parser import parse_statement
 from .base import Backend, BackendConnection, Statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile.artifact import CompiledQuery
 
 
 @dataclass(frozen=True)
@@ -99,6 +102,8 @@ class ShardedConnection(BackendConnection):
         )
         #: the most recent query plan, for tests/examples/monitoring
         self.last_plan: Optional[Plan] = None
+        #: plans served from a CompiledQuery's attachment memo (warm cache hits)
+        self.plan_reuses = 0
         self._tables: dict[str, _TableSchema] = {}
         self._ddl_log: list[ast.Statement] = []
         self._udf_log: list[tuple[str, str, Any, bool]] = []
@@ -135,13 +140,20 @@ class ShardedConnection(BackendConnection):
         statement: Statement,
         dataset: Optional[Sequence[int]] = None,
         parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
     ) -> ExecuteResult:
-        """Execute a statement, pruning the shard fan-out to ``dataset``'s shards."""
+        """Execute a statement, pruning the shard fan-out to ``dataset``'s shards.
+
+        ``compiled`` (a middleware-compiled statement's artifact) lets the
+        planner consume the precomputed shardability analysis and lets this
+        connection memoize the resulting plan on the artifact, so a gateway
+        cache hit re-executes without planning at all.
+        """
         if isinstance(statement, str):
             statement = parse_statement(statement)
         self.stats.add(statements=1)
         if isinstance(statement, ast.Select):
-            return self._execute_select(statement, dataset, parameters)
+            return self._execute_select(statement, dataset, parameters, compiled)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, parameters)
         if isinstance(statement, (ast.Update, ast.Delete)):
@@ -162,9 +174,25 @@ class ShardedConnection(BackendConnection):
         statement: ast.Select,
         dataset: Optional[Sequence[int]],
         parameters: Optional[Sequence[Any]],
+        compiled: Optional["CompiledQuery"] = None,
     ) -> ExecuteResult:
         shards = self.placement.shards_for(dataset)
-        plan = self.planner.plan(statement, shards)
+        plan: Optional[Plan] = None
+        memo_key = None
+        if compiled is not None:
+            # the memo key pins the shard fan-out and the catalog version, so
+            # DDL (or a different D') can never resurrect a stale plan
+            memo_key = ("cluster-plan", id(self), tuple(shards), self.catalog.version)
+            with self._lock:
+                plan = compiled.attachments.get(memo_key)
+                if plan is not None:
+                    self.plan_reuses += 1
+        if plan is None:
+            analysis = compiled.analysis if compiled is not None else None
+            plan = self.planner.plan(statement, shards, analysis=analysis)
+            if memo_key is not None:
+                with self._lock:
+                    compiled.attachments[memo_key] = plan
         self.last_plan = plan
         if isinstance(plan, FederatedPlan):
             return self._execute_federated(plan, dataset, parameters)
@@ -179,16 +207,15 @@ class ShardedConnection(BackendConnection):
                     name=statement.name,
                     columns=tuple(column.name for column in statement.columns),
                 )
-                self.catalog.relations.add(statement.name.lower())
+                self.catalog.add_relation(statement.name)
             elif isinstance(statement, ast.CreateView):
-                self.catalog.views.add(statement.name.lower())
+                self.catalog.add_view(statement.name)
             elif isinstance(statement, ast.DropTable):
                 self._tables.pop(statement.name.lower(), None)
-                self.catalog.relations.discard(statement.name.lower())
-                self.catalog.partitioned.pop(statement.name.lower(), None)
+                self.catalog.drop_relation(statement.name)
                 self._scratch_state.pop(statement.name.lower(), None)
             elif isinstance(statement, ast.DropView):
-                self.catalog.views.discard(statement.name.lower())
+                self.catalog.drop_view(statement.name)
             elif isinstance(statement, ast.CreateFunction):
                 # a SQL-bodied function reads tables the query text never
                 # names; recompute the federated sync set lazily
@@ -209,10 +236,12 @@ class ShardedConnection(BackendConnection):
     ) -> None:
         """Record the partitioning of a tenant-specific table (middleware hook)."""
         with self._lock:
-            self.catalog.partitioned[table_name.lower()] = PartitionInfo(
-                table=table_name,
-                ttid_column=ttid_column,
-                local_keys=frozenset(column.lower() for column in local_key_columns),
+            self.catalog.set_partitioned(
+                PartitionInfo(
+                    table=table_name,
+                    ttid_column=ttid_column,
+                    local_keys=frozenset(column.lower() for column in local_key_columns),
+                )
             )
 
     # -- DML ------------------------------------------------------------------
@@ -351,7 +380,7 @@ class ShardedConnection(BackendConnection):
             from_items=[ast.TableRef(name=statement.table)],
             where=statement.where,
         )
-        if not self.planner._stream_info(probe).ok:
+        if not self.planner.analyzer.stream_info(probe).ok:
             raise ClusterError(
                 f"{kind} on {statement.table!r} uses a sub-query that needs "
                 f"cross-shard data; per-shard evaluation would mutate the "
@@ -569,8 +598,11 @@ class ShardedConnection(BackendConnection):
         return total
 
     def reset_stats(self) -> None:
-        """Reset the coordinator's and every shard's counters."""
+        """Reset the coordinator's, the planner's and every shard's counters."""
         self.stats.reset()
+        with self._lock:
+            self.plan_reuses = 0
+        self.planner.reset_stats()
         for shard in self._shards:
             shard.reset_stats()
         if self._scratch is not None:

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..backends import BACKEND_NAMES, BackendConnection, create_backend
 from ..core.middleware import MTBase
+from ..core.optimizer.levels import OptimizationLevel
 from ..errors import ConfigurationError
 from ..gateway import GatewaySession, QueryGateway
 from ..mth.dbgen import TPCHData, generate
@@ -57,6 +58,26 @@ def env_backend(default: str = "engine") -> str:
             f"{', '.join(BACKEND_NAMES)}, got {value!r}"
         )
     return value
+
+
+def env_level(default: str = "o4") -> str:
+    """Optimization-level override via ``REPRO_BENCH_LEVEL``.
+
+    Sets the default level of :meth:`Workload.connection` /
+    :meth:`Workload.gateway_session` (callers that pass ``optimization=``
+    explicitly — like the per-level table sweeps — are unaffected), so the
+    whole harness and the CI matrix can run at any Table-6 level.
+    """
+    value = os.environ.get("REPRO_BENCH_LEVEL", "").strip()
+    if not value:
+        return default
+    try:
+        return OptimizationLevel.from_name(value).value
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"the REPRO_BENCH_LEVEL environment variable must be one of "
+            f"{', '.join(OptimizationLevel.levels())}, got {value!r}"
+        ) from exc
 
 
 def env_shards(default: int = 0) -> int:
@@ -98,6 +119,8 @@ class WorkloadConfig:
     backend: str = field(default_factory=env_backend)
     #: 0 = single backend; N > 0 = N-shard tenant-partitioned cluster
     shards: int = field(default_factory=env_shards)
+    #: default optimization level for connections/sessions opened without one
+    level: str = field(default_factory=env_level)
 
     @classmethod
     def scenario1(cls, profile: str = "postgres", scale_factor: Optional[float] = None) -> "WorkloadConfig":
@@ -142,13 +165,18 @@ class Workload:
         """The execution backend serving the MT-H side of the workload."""
         return self.mth.middleware.backend
 
-    def connection(self, client: int = 1, optimization: str = "o4", dataset: str = "all"):
+    def connection(
+        self, client: int = 1, optimization: Optional[str] = None, dataset: str = "all"
+    ):
         """Open a client connection with the scope the experiments use.
 
         ``dataset`` is either ``"all"`` (empty IN list = every tenant) or an
-        explicit scope string such as ``"IN (1)"``.
+        explicit scope string such as ``"IN (1)"``; ``optimization=None``
+        uses the workload's configured level (``REPRO_BENCH_LEVEL``-aware).
         """
-        connection = self.middleware.connect(client, optimization=optimization)
+        connection = self.middleware.connect(
+            client, optimization=optimization if optimization is not None else self.config.level
+        )
         connection.set_scope("IN ()" if dataset == "all" else dataset)
         return connection
 
@@ -170,11 +198,13 @@ class Workload:
         return self._gateway
 
     def gateway_session(
-        self, client: int = 1, optimization: str = "o4", dataset: str = "all"
+        self, client: int = 1, optimization: Optional[str] = None, dataset: str = "all"
     ) -> GatewaySession:
         """Like :meth:`connection`, but served through the query gateway."""
         return self.gateway().session(
-            client, optimization=optimization, scope="IN ()" if dataset == "all" else dataset
+            client,
+            optimization=optimization if optimization is not None else self.config.level,
+            scope="IN ()" if dataset == "all" else dataset,
         )
 
     def reset_caches(self) -> None:
@@ -198,6 +228,7 @@ def load_workload(config: WorkloadConfig, use_cache: bool = True) -> Workload:
         config.seed,
         config.backend,
         config.shards,
+        config.level,
     )
     if use_cache and key in _WORKLOAD_CACHE:
         return _WORKLOAD_CACHE[key]

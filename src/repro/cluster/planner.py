@@ -20,86 +20,41 @@ planner picks the cheapest sound strategy:
    query there.  Slow but always correct; it is the safety net that makes
    the planner's static analysis allowed to be conservative.
 
-**Soundness.**  Strategies 2 and 3 require that every pre-aggregation row is
-produced by exactly one shard.  The planner proves this from the partitioning
-catalog: a FROM clause is *anchored* when it joins at least one partitioned
-table (or a shard-local derived table) and global tables; sub-queries must be
-*shard-local* — either global-only, or grouped/DISTINCT on a tenant-specific
-key column, whose groups therefore never span shards.  Joins between two
-partitioned tables are assumed co-located (MTBase extends global referential
-integrity with the ttid, Appendix A.1, and MT-H assigns orders/lineitems to
-their customer's tenant); queries that join partitioned rows of *different*
-tenants on non-key attributes must disable scatter-gather (see
-:class:`repro.backends.sharded.ShardedBackend`'s ``scatter_gather`` flag).
+**Soundness** of strategies 2 and 3 is proven by the shardability analysis in
+:mod:`repro.compile.analysis` (see its module docstring for the rules).  The
+analysis runs *once per statement*: when the statement arrives from the
+middleware it carries a precomputed
+:class:`~repro.compile.analysis.QueryAnalysis` inside its
+:class:`~repro.compile.artifact.CompiledQuery`, and the planner consumes that
+artifact instead of re-walking the AST (``stats.analyses_reused`` vs.
+``stats.analyses_recomputed`` counts both paths).  Bare statements — direct
+``backend.execute()`` calls that never went through the compiler — fall back
+to the planner's own :class:`~repro.compile.analysis.ShardabilityAnalyzer`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Optional, Union
 
+# Re-exported for backward compatibility: the partitioning catalog moved to
+# repro.compile.analysis so the compiler and the planner share one analysis.
+from ..compile.analysis import (  # noqa: F401  (ClusterCatalog/PartitionInfo re-export)
+    ClusterCatalog,
+    PartitionInfo,
+    QueryAnalysis,
+    ShardabilityAnalyzer,
+)
 from ..errors import SplitError
 from ..sql import ast
 from ..sql.printer import to_sql
 from ..sql.transform import (
     AggregateSplit,
     RowStreamSplit,
-    iter_select_expressions,
-    select_aggregate_calls,
     split_partial_aggregates,
     split_row_stream,
-    walk_expression,
 )
-
-# ---------------------------------------------------------------------------
-# Partitioning catalog
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class PartitionInfo:
-    """How one table is partitioned across the cluster.
-
-    ``local_keys`` are the lower-cased columns whose values never span
-    tenants — the ttid column itself plus the table's tenant-specific (MTSQL
-    ``SPECIFIC``) attributes.  Grouping by any of them keeps every group on a
-    single shard, which is what makes nested aggregation decomposable.
-    """
-
-    table: str
-    ttid_column: str
-    local_keys: frozenset[str] = frozenset()
-
-    @property
-    def key(self) -> str:
-        """Lower-cased catalog key."""
-        return self.table.lower()
-
-    def all_local_keys(self) -> frozenset[str]:
-        """The local keys including the ttid column itself."""
-        return self.local_keys | {self.ttid_column.lower()}
-
-
-@dataclass
-class ClusterCatalog:
-    """What the planner knows about the cluster's relations."""
-
-    #: partitioned tables by lower-cased name
-    partitioned: dict[str, PartitionInfo] = field(default_factory=dict)
-    #: every base table created on the cluster (lower-cased)
-    relations: set[str] = field(default_factory=set)
-    #: every view created on the cluster (lower-cased)
-    views: set[str] = field(default_factory=set)
-
-    def is_partitioned(self, name: str) -> bool:
-        """Whether ``name`` is a tenant-partitioned base table."""
-        return name.lower() in self.partitioned
-
-    def is_replicated_table(self, name: str) -> bool:
-        """Whether ``name`` is a known base table replicated on every shard."""
-        lowered = name.lower()
-        return lowered in self.relations and lowered not in self.partitioned
-
 
 # ---------------------------------------------------------------------------
 # Plans
@@ -174,12 +129,21 @@ Plan = Union[SingleShardPlan, RowStreamPlan, PartialAggregatePlan, FederatedPlan
 
 
 @dataclass
-class _StreamInfo:
-    """Result of analysing one SELECT's FROM/WHERE row stream."""
+class PlannerStats:
+    """Planner counters, read by the compile-once acceptance tests."""
 
-    ok: bool
-    anchored: bool
-    bindings: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: total plan() calls
+    plans: int = 0
+    #: statements planned from a precomputed CompiledQuery analysis
+    analyses_reused: int = 0
+    #: bare statements whose analysis the planner had to run itself
+    analyses_recomputed: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.plans = 0
+        self.analyses_reused = 0
+        self.analyses_recomputed = 0
 
 
 _EVAL_BINARY_OPS = frozenset(
@@ -197,23 +161,58 @@ class ClusterPlanner:
         functions: Optional[dict] = None,
     ) -> None:
         self.catalog = catalog
+        #: the shared shardability analysis, run only for bare statements
+        self.analyzer = ShardabilityAnalyzer(catalog)
         #: when False, every multi-shard query uses the federated strategy
         #: (escape hatch for workloads that break the co-location assumption)
         self.scatter_gather = scatter_gather
         #: scalar functions the coordinator can evaluate post-merge (shared,
         #: mutable: the owning connection adds Python UDFs as they register)
         self.functions = functions if functions is not None else {}
+        #: analysis reuse counters (gateway sessions plan concurrently)
+        self.stats = PlannerStats()
+        self._stats_lock = threading.Lock()
+
+    def reset_stats(self) -> None:
+        """Zero the planner counters, under the same lock the increments take."""
+        with self._stats_lock:
+            self.stats.reset()
 
     # -- entry point ---------------------------------------------------------
 
-    def plan(self, select: ast.Select, shards: tuple[int, ...]) -> Plan:
-        """Choose the execution strategy for one SELECT over ``shards``."""
-        from ..sql.transform import referenced_table_names
+    def plan(
+        self,
+        select: ast.Select,
+        shards: tuple[int, ...],
+        analysis: Optional[QueryAnalysis] = None,
+    ) -> Plan:
+        """Choose the execution strategy for one SELECT over ``shards``.
 
-        tables = referenced_table_names(select)
-        known = {name for name in tables if name in self.catalog.relations}
-        unknown = tables - known
-        partitioned = {name for name in tables if name in self.catalog.partitioned}
+        ``analysis`` is the statement's precomputed shardability analysis
+        (``CompiledQuery.analysis``); when given, the planner performs no AST
+        walk of its own.  Exception: the compiler's catalog may not know
+        tables created behind the middleware's back (backend-level meta
+        tables) — if any name it reported unknown is a relation of *this*
+        cluster, the precomputed verdicts (``partition_safe`` above all) are
+        stale-conservative, so the planner re-analyses against its own
+        catalog rather than silently downgrade scatter-gather to federated.
+        """
+        if analysis is not None and set(analysis.unknown) & self.catalog.relations:
+            analysis = None  # compiled against a catalog missing our tables
+        reused = analysis is not None
+        if analysis is None:
+            analysis = self.analyzer.analyze(select)
+        with self._stats_lock:
+            self.stats.plans += 1
+            if reused:
+                self.stats.analyses_reused += 1
+            else:
+                self.stats.analyses_recomputed += 1
+
+        partitioned = set(analysis.partitioned)
+        unknown = set(analysis.unknown)
+        known = set(analysis.known)
+
         if not partitioned and not (unknown & self.catalog.views):
             # global tables are replicated: any single shard answers; unknown
             # non-view relations will raise the backend's own catalog error
@@ -227,10 +226,9 @@ class ClusterPlanner:
         if not self.scatter_gather:
             return self._federated(select, known)
 
-        info = self._stream_info(select)
-        if not info.ok or not info.anchored:
+        if not analysis.partition_safe:
             return self._federated(select, known)
-        if select.group_by or select_aggregate_calls(select):
+        if analysis.has_aggregation:
             plan = self._plan_partial_aggregate(select, shards)
         else:
             plan = self._plan_row_stream(select, shards)
@@ -319,147 +317,3 @@ class ClusterPlanner:
                 self._evaluable(argument, texts, aliases) for argument in expr.args
             )
         return False
-
-    # -- row-partitioning analysis -------------------------------------------
-
-    def _stream_info(self, select: ast.Select) -> _StreamInfo:
-        """Analyse whether a SELECT's pre-aggregation rows partition by shard."""
-        bindings: dict[str, frozenset[str]] = {}
-        anchored = False
-        for item in select.from_items:
-            item_ok, item_anchored = self._from_item_info(item, bindings)
-            if not item_ok:
-                return _StreamInfo(ok=False, anchored=False)
-            anchored = anchored or item_anchored
-        for expr in iter_select_expressions(select):
-            if not self._expression_subqueries_ok(expr, bindings):
-                return _StreamInfo(ok=False, anchored=False)
-        return _StreamInfo(ok=True, anchored=anchored, bindings=bindings)
-
-    def _from_item_info(
-        self, item: ast.FromItem, bindings: dict[str, frozenset[str]]
-    ) -> tuple[bool, bool]:
-        """Register a FROM item's bindings; returns ``(ok, anchored)``."""
-        if isinstance(item, ast.TableRef):
-            lowered = item.name.lower()
-            binding = (item.alias or item.name).lower()
-            if lowered in self.catalog.partitioned:
-                bindings[binding] = self.catalog.partitioned[lowered].all_local_keys()
-                return True, True
-            if self.catalog.is_replicated_table(lowered):
-                bindings[binding] = frozenset()
-                return True, False
-            return False, False  # view / unknown relation
-        if isinstance(item, ast.SubqueryRef):
-            shape, local_out = self._select_shape(item.query)
-            if shape == "opaque":
-                return False, False
-            bindings[item.alias.lower()] = local_out
-            return True, shape in ("stream", "grouped")
-        if isinstance(item, ast.Join):
-            left_ok, left_anchored = self._from_item_info(item.left, bindings)
-            right_ok, right_anchored = self._from_item_info(item.right, bindings)
-            if not (left_ok and right_ok):
-                return False, False
-            if item.join_type is ast.JoinType.LEFT and right_anchored and not left_anchored:
-                # a replicated left side would be NULL-extended on every
-                # shard, duplicating its rows across the union
-                return False, False
-            return True, left_anchored or right_anchored
-        return False, False
-
-    def _select_shape(self, select: ast.Select) -> tuple[str, frozenset[str]]:
-        """Classify a sub-query: ``global`` (replicated result), ``stream`` /
-        ``grouped`` (result rows partition by shard) or ``opaque``."""
-        from ..sql.transform import referenced_table_names
-
-        tables = referenced_table_names(select)
-        if any(name not in self.catalog.relations for name in tables):
-            return "opaque", frozenset()
-        if not any(name in self.catalog.partitioned for name in tables):
-            return "global", frozenset()
-
-        info = self._stream_info(select)
-        if not info.ok or not info.anchored:
-            return "opaque", frozenset()
-        if select.limit is not None:
-            # a per-shard LIMIT is not the global LIMIT
-            return "opaque", frozenset()
-
-        aggregates = select_aggregate_calls(select)
-        if select.group_by:
-            if not any(
-                self._is_local_key(expr, info.bindings) for expr in select.group_by
-            ):
-                return "opaque", frozenset()
-            shape = "grouped"
-        elif aggregates:
-            return "opaque", frozenset()  # a global aggregate needs all shards
-        elif select.distinct:
-            if not any(
-                self._is_local_key(item.expr, info.bindings) for item in select.items
-            ):
-                return "opaque", frozenset()
-            shape = "grouped"
-        else:
-            shape = "stream"
-        return shape, self._local_output_keys(select, info.bindings)
-
-    def _local_output_keys(
-        self, select: ast.Select, bindings: dict[str, frozenset[str]]
-    ) -> frozenset[str]:
-        """Output columns of a sub-query that pass a local key through."""
-        keys = set()
-        for item in select.items:
-            if self._is_local_key(item.expr, bindings):
-                name = item.alias or item.expr.name  # type: ignore[union-attr]
-                keys.add(name.lower())
-        return frozenset(keys)
-
-    def _is_local_key(
-        self, expr: ast.Expression, bindings: dict[str, frozenset[str]]
-    ) -> bool:
-        """Whether an expression is a column whose values never span shards."""
-        if not isinstance(expr, ast.Column):
-            return False
-        name = expr.name.lower()
-        if expr.table is not None:
-            return name in bindings.get(expr.table.lower(), frozenset())
-        return any(name in keys for keys in bindings.values())
-
-    def _expression_subqueries_ok(
-        self, expr: ast.Expression, bindings: dict[str, frozenset[str]]
-    ) -> bool:
-        """Check the sub-queries nested inside one expression tree."""
-        for node in walk_expression(expr):
-            if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
-                # must yield the same value/verdict on every shard
-                if self._select_shape(node.query)[0] != "global":
-                    return False
-            elif isinstance(node, ast.InSubquery):
-                if not self._in_subquery_ok(node, bindings):
-                    return False
-        return True
-
-    def _in_subquery_ok(
-        self, node: ast.InSubquery, bindings: dict[str, frozenset[str]]
-    ) -> bool:
-        """A membership test decomposes when probe and members are co-located.
-
-        Either the sub-query is global (identical member set everywhere), or
-        both sides are tenant-local keys: the probed rows and the member rows
-        then live on the same shard, so the per-shard verdict is the global
-        verdict.
-        """
-        shape, local_out = self._select_shape(node.query)
-        if shape == "global":
-            return True
-        if shape == "opaque":
-            return False
-        if len(node.query.items) != 1:
-            return False
-        item = node.query.items[0]
-        member = (item.alias or getattr(item.expr, "name", "")).lower()
-        if member not in local_out:
-            return False
-        return self._is_local_key(node.expr, bindings)

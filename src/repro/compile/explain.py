@@ -1,0 +1,94 @@
+"""``MTConnection.explain()``: render a compilation as a pass-by-pass report.
+
+The report is the user-facing window into the staged compiler: one line per
+stage with wall time, AST size delta and fired-rule count, the shardability
+verdict, the conversion-call census, and the SQL text after every stage —
+rendered in a chosen :class:`~repro.sql.dialect.Dialect` so the printout
+matches what the connection's backend would receive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sql.dialect import DEFAULT_DIALECT, Dialect
+from ..sql.printer import to_sql
+from .artifact import CompiledQuery
+
+
+@dataclass
+class ExplainReport:
+    """A compiled statement plus the dialect its SQL snapshots print in."""
+
+    compiled: CompiledQuery
+    dialect: Optional[Dialect] = None
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def pass_trace(self) -> tuple[str, ...]:
+        """The stage names that ran, in order."""
+        return self.compiled.pass_trace
+
+    def sql(self) -> str:
+        """The final rewritten SQL in the report's dialect."""
+        return to_sql(self.compiled.rewritten, self.dialect)
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, include_sql: bool = True) -> str:
+        """The full multi-line report (optionally without the SQL snapshots)."""
+        compiled = self.compiled
+        dialect = self.dialect if self.dialect is not None else DEFAULT_DIALECT
+        analysis = compiled.analysis
+        lines = [
+            (
+                f"MTSQL compilation: client={compiled.client} "
+                f"D'={list(compiled.dataset)} level={compiled.level.value} "
+                f"dialect={dialect.name}"
+            ),
+            f"statement: {to_sql(compiled.statement, self.dialect)}",
+            "",
+            f"{'stage':<14}{'time':>12}{'nodes':>8}{'delta':>8}{'fired':>8}",
+        ]
+        for record in compiled.passes:
+            lines.append(
+                f"{record.name:<14}{record.seconds * 1000.0:>10.3f}ms"
+                f"{record.nodes_after:>8}{record.node_delta:>+8}{record.fired:>8}"
+            )
+        lines.append(
+            f"{'total':<14}{compiled.seconds * 1000.0:>10.3f}ms"
+            f"{compiled.passes[-1].nodes_after:>8}"
+            f"{compiled.passes[-1].nodes_after - compiled.passes[0].nodes_before:>+8}"
+            f"{sum(record.fired for record in compiled.passes[1:]):>8}"
+        )
+        lines.append("")
+        lines.append(
+            "conversion calls: "
+            f"canonical={compiled.conversions.canonical_total} "
+            f"final={compiled.conversions.final_total} "
+            f"({_census_text(compiled.conversions.final)})"
+        )
+        lines.append(
+            "analysis: "
+            f"partition_safe={analysis.partition_safe} "
+            f"aggregation={analysis.has_aggregation} "
+            f"partitioned={list(analysis.partitioned)} "
+            f"tables={list(analysis.tables)}"
+        )
+        if include_sql:
+            for record in compiled.passes:
+                lines.append("")
+                lines.append(f"-- after {record.name}")
+                lines.append(to_sql(record.snapshot, self.dialect))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _census_text(census: dict[str, int]) -> str:
+    if not census:
+        return "none"
+    return ", ".join(f"{name}×{count}" for name, count in sorted(census.items()))

@@ -7,30 +7,34 @@ paper's middleware pipeline (Figure 4):
 
 1. if the scope is complex, run its rewritten query to determine ``D``,
 2. prune ``D`` to ``D'`` using the client's privileges,
-3. rewrite the MTSQL statement into plain SQL (canonical rewrite + the
-   configured optimization level),
-4. execute the SQL on the underlying DBMS and relay the result.
+3. compile the MTSQL statement into plain SQL through the middleware's staged
+   :class:`~repro.compile.QueryCompiler` (canonical rewrite + the configured
+   optimization level's passes + the shardability analysis) — exactly once
+   per statement,
+4. execute the compiled SQL on the underlying DBMS and relay the result; the
+   whole :class:`~repro.compile.CompiledQuery` artifact travels with it so a
+   sharded backend never re-analyses the AST.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..errors import MTSQLError, PrivilegeError
 from ..result import QueryResult, StatementResult
 from ..sql import ast
+from ..sql.dialect import Dialect, get_dialect
 from ..sql.parser import parse_statement
 from ..sql.printer import to_sql
 from ..sql.transform import walk_expression
 from .dml import DMLRewriter
-from .optimizer import apply_optimizations
 from .optimizer.levels import OptimizationLevel
 from .rewrite.canonical import CanonicalRewriter
-from .rewrite.context import RewriteContext, RewriteOptions
 from .scope import ComplexScope, DefaultScope, Scope, SimpleScope, parse_scope, scope_dataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..backends import BackendConnection
+    from ..compile import CompiledQuery, ExplainReport
     from .middleware import MTBase
 
 
@@ -82,7 +86,9 @@ class MTConnection:
         )
 
     def _resolve_complex_scope(self, scope: ComplexScope) -> list[int]:
-        context = self._rewrite_context(dataset=self.middleware.tenants())
+        context = self.middleware.compiler.rewrite_context(
+            self.client, self.middleware.tenants(), self.optimization
+        )
         rewritten = CanonicalRewriter(context).rewrite_scope_query(scope.query)
         result = self.backend.execute(rewritten)
         return [int(row[0]) for row in result.rows]
@@ -134,60 +140,104 @@ class MTConnection:
             raise MTSQLError("query() expects a SELECT statement")
         return result
 
-    # -- rewrite-only entry points (used by tests, examples and the benchmarks) -------
+    # -- compilation entry points (used by the gateway, tests, examples, bench) -------
 
-    def rewrite(self, statement: Union[str, ast.Select]) -> ast.Select:
-        """Rewrite a query without executing it."""
+    def compile(self, statement: Union[str, ast.Select]) -> "CompiledQuery":
+        """Compile a query without executing it: resolve the scope, prune it
+        to ``D'`` and run the middleware's staged pipeline once."""
         if isinstance(statement, str):
             statement = parse_statement(statement)
         if not isinstance(statement, ast.Select):
-            raise MTSQLError("rewrite() expects a SELECT statement")
-        dataset = self._pruned_dataset(statement)
-        return self._rewrite_query(statement, dataset)
+            raise MTSQLError("compile() expects a SELECT statement")
+        tables = tuple(sorted(self.statement_tables(statement)))
+        dataset = self.prune_dataset(self.dataset(), tables)
+        return self.compile_resolved(statement, dataset, tables=tables)
 
-    def rewrite_sql(self, statement: Union[str, ast.Select]) -> str:
-        """Rewrite a query and return the SQL text sent to the DBMS."""
-        return to_sql(self.rewrite(statement))
-
-    def rewrite_resolved(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
-        """Rewrite a query for an already-resolved (and pruned) data set D'.
+    def compile_resolved(
+        self,
+        query: ast.Select,
+        dataset: tuple[int, ...],
+        tables: Optional[Sequence[str]] = None,
+    ) -> "CompiledQuery":
+        """Compile for an already-resolved (and pruned) data set D'.
 
         This is the cacheable tail of the pipeline: the gateway resolves D'
         per execution (it is part of the cache key) and only pays this step
-        on a cache miss.
+        on a cache miss.  ``tables`` are the tenant-specific tables walked
+        for pruning, when the caller already knows them.
         """
-        return self._rewrite_query(query, dataset)
+        if tables is None:
+            tables = tuple(sorted(self.statement_tables(query)))
+        return self.middleware.compiler.compile(
+            query,
+            client=self.client,
+            dataset=tuple(dataset),
+            level=self.optimization,
+            tables=tuple(tables),
+        )
+
+    def rewrite(self, statement: Union[str, ast.Select]) -> ast.Select:
+        """Rewrite a query without executing it (the compiled statement)."""
+        return self.compile(statement).rewritten
+
+    def rewrite_sql(
+        self,
+        statement: Union[str, ast.Select],
+        dialect: Optional[Union[str, Dialect]] = None,
+    ) -> str:
+        """Rewrite a query and return the SQL text sent to the DBMS.
+
+        ``dialect`` selects the rendering: a :class:`~repro.sql.dialect.
+        Dialect`, a registered dialect name (``"sqlite"``), or the string
+        ``"backend"`` for this connection's backend dialect.  The default
+        stays the engine's own dialect profile.
+        """
+        return to_sql(self.rewrite(statement), self._resolve_dialect(dialect))
+
+    def rewrite_resolved(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
+        """Back-compat wrapper: the rewritten AST of :meth:`compile_resolved`."""
+        return self.compile_resolved(query, dataset).rewritten
+
+    def explain(
+        self,
+        statement: Union[str, ast.Select],
+        dialect: Optional[Union[str, Dialect]] = None,
+    ) -> "ExplainReport":
+        """Compile a query and return the pass-by-pass compilation report.
+
+        The report carries per-stage wall time, AST-size deltas, fired-rule
+        counts, the conversion-call census, the shardability analysis and the
+        SQL snapshot after every stage.  ``dialect`` works like in
+        :meth:`rewrite_sql` but defaults to ``"backend"`` — the printout shows
+        what this connection's backend would receive.
+        """
+        from ..compile.explain import ExplainReport
+
+        resolved = (
+            self.backend.dialect if dialect is None else self._resolve_dialect(dialect)
+        )
+        return ExplainReport(compiled=self.compile(statement), dialect=resolved)
+
+    def _resolve_dialect(
+        self, dialect: Optional[Union[str, Dialect]]
+    ) -> Optional[Dialect]:
+        """Resolve a dialect argument (None = the printer's default dialect)."""
+        if isinstance(dialect, str):
+            if dialect == "backend":
+                return self.backend.dialect
+            return get_dialect(dialect)
+        return dialect  # None or an (possibly wrapped) Dialect object
 
     # -- internals ----------------------------------------------------------------------
 
     def _execute_query(self, query: ast.Select) -> QueryResult:
-        dataset = self._pruned_dataset(query)
-        rewritten = self._rewrite_query(query, dataset)
-        self.last_rewritten = [rewritten]
+        compiled = self.compile(query)
+        self.last_rewritten = [compiled.rewritten]
         # D' is routing metadata: a sharded backend prunes its fan-out to the
-        # shards owning these tenants (single-database backends ignore it)
-        return self.backend.execute_scoped(rewritten, dataset=dataset)
-
-    def _rewrite_query(self, query: ast.Select, dataset: tuple[int, ...]) -> ast.Select:
-        context = self._rewrite_context(dataset)
-        rewritten = CanonicalRewriter(context).rewrite_query(query)
-        return apply_optimizations(rewritten, self.optimization, context)
-
-    def _rewrite_context(
-        self, dataset: tuple[int, ...], force_canonical: bool = False
-    ) -> RewriteContext:
-        all_tenants = self.middleware.tenants()
-        if self.optimization.applies_trivial and not force_canonical:
-            options = RewriteOptions.trivially_optimized(self.client, dataset, all_tenants)
-        else:
-            options = RewriteOptions.canonical()
-        return RewriteContext(
-            client=self.client,
-            dataset=tuple(dataset),
-            schema=self.middleware.schema,
-            conversions=self.middleware.conversions,
-            options=options,
-            all_tenants=all_tenants,
+        # shards owning these tenants (single-database backends ignore it);
+        # the artifact rides along so the cluster planner reuses its analysis
+        return self.backend.execute_scoped(
+            compiled.rewritten, dataset=compiled.dataset, compiled=compiled
         )
 
     def prune_dataset(
@@ -297,7 +347,10 @@ class MTConnection:
             ast.Delete: "DELETE",
         }[type(statement)]
         dataset = self._pruned_dataset(statement, privilege=privilege)
-        context = self._rewrite_context(dataset, force_canonical=True)
+        # the DML rewrite needs the canonical form regardless of the level
+        context = self.middleware.compiler.rewrite_context(
+            self.client, dataset, self.optimization, force_canonical=True
+        )
         rewriter = DMLRewriter(context)
         database = self.backend
 
@@ -352,8 +405,10 @@ class MTConnection:
     def _execute_create_view(self, statement: ast.CreateView) -> StatementResult:
         """Tenant views are created over the rewritten (D-filtered) query."""
         dataset = self._pruned_dataset(statement.query)
-        rewritten = self._rewrite_query(statement.query, dataset)
-        self.last_rewritten = [rewritten]
-        self.backend.execute(ast.CreateView(name=statement.name, query=rewritten))
+        compiled = self.compile_resolved(statement.query, dataset)
+        self.last_rewritten = [compiled.rewritten]
+        self.backend.execute(
+            ast.CreateView(name=statement.name, query=compiled.rewritten)
+        )
         self.middleware.notify_metadata_change("ddl")
         return StatementResult("CREATE VIEW")

@@ -46,6 +46,9 @@ class MTBase:
             backend = EngineBackend(profile=profile, database=database)
         elif database is not None:
             raise MTSQLError("pass either database= (engine shortcut) or backend=, not both")
+        # local import: repro.compile builds on repro.core's rewrite/optimizer
+        from ..compile.compiler import QueryCompiler
+
         #: the execution backend all statements are sent to
         self.backend: BackendConnection = as_backend_connection(backend, profile=profile)
         self.schema = MTSchema()
@@ -56,6 +59,8 @@ class MTBase:
         self.metadata_version = 0
         self._metadata_listeners: list[Callable[[str], None]] = []
         self._metadata_lock = threading.Lock()
+        #: the staged MTSQL→SQL compiler every connection compiles through
+        self.compiler = QueryCompiler(self)
 
     @property
     def database(self):

@@ -2,9 +2,13 @@
 
 :func:`apply_optimizations` runs the post-rewrite passes belonging to an
 :class:`~repro.core.optimizer.levels.OptimizationLevel` on a canonically
-rewritten query.  The *trivial semantic optimizations* (o1) are not a pass:
-they are expressed as :class:`~repro.core.rewrite.context.RewriteOptions`
-computed from C and D before the canonical rewrite runs.
+rewritten query.  Which passes a level runs is declared once, in
+:data:`repro.compile.passes.LEVEL_PASSES`; this helper merely replays that
+pass list without the compiler's instrumentation (the middleware itself
+compiles through :class:`repro.compile.QueryCompiler`).  The *trivial
+semantic optimizations* (o1) are not a pass: they are expressed as
+:class:`~repro.core.rewrite.context.RewriteOptions` computed from C and D
+before the canonical rewrite runs.
 """
 
 from __future__ import annotations
@@ -22,12 +26,11 @@ def apply_optimizations(
     query: ast.Select, level: OptimizationLevel, context: RewriteContext
 ) -> ast.Select:
     """Run the §4.2 passes required by ``level`` on a rewritten query."""
-    if level.applies_pushup:
-        query = PushUpOptimizer(context).apply(query)
-    if level.applies_distribution:
-        query = AggregationDistributionOptimizer(context).apply(query)
-    if level.applies_inlining:
-        query = InliningOptimizer(context).apply(query)
+    # local import: repro.compile builds on this package's optimizer classes
+    from ...compile.passes import passes_for_level
+
+    for compiler_pass in passes_for_level(level):
+        query = compiler_pass.run(query, context).query
     return query
 
 

@@ -81,6 +81,8 @@ class AggregationDistributionOptimizer:
         self.context = context
         self.registry = context.conversions
         self.client = context.client
+        #: aggregates restructured/hoisted across one apply() (instrumentation)
+        self.fired = 0
 
     # -- recursion -----------------------------------------------------------
 
@@ -181,6 +183,7 @@ class AggregationDistributionOptimizer:
             ttid_expr = next(
                 wrap.ttid for info in wrapped_infos for wrap in info.full_wraps
             )
+            self.fired += len(infos)
             return self._restructure(query, infos, ttid_expr)
         return self._hoist(query, wrapped_infos)
 
@@ -203,6 +206,7 @@ class AggregationDistributionOptimizer:
             mapping[info.text] = hoisted
         if not mapping:
             return query
+        self.fired += len(mapping)
         return self._replace_by_text(query, mapping)
 
     # -- full restructuring ----------------------------------------------------------

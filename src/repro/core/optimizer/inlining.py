@@ -27,6 +27,8 @@ class InliningOptimizer:
 
     def __init__(self, context: RewriteContext) -> None:
         self.registry: ConversionRegistry = context.conversions
+        #: conversion calls inlined across one apply() (compiler instrumentation)
+        self.fired = 0
 
     def apply(self, query: ast.Select) -> ast.Select:
         query = copy.copy(query)
@@ -77,6 +79,7 @@ class InliningOptimizer:
                 if pair is not None and pair.supports_inlining:
                     value = self.inline_expression(node.args[0])
                     ttid = self.inline_expression(node.args[1])
+                    self.fired += 1
                     if node.name.lower() == pair.to_universal.lower():
                         return pair.inline_to(value, ttid)
                     return pair.inline_from(value, ttid)

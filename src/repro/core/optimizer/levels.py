@@ -1,4 +1,9 @@
-"""Optimization levels (Table 6 of the paper)."""
+"""Optimization levels (Table 6 of the paper).
+
+The level enum is pure identity: *which* passes each level runs is the
+declarative :data:`repro.compile.passes.LEVEL_PASSES` table consumed by the
+staged compiler (:mod:`repro.compile`), not a property of the enum.
+"""
 
 from __future__ import annotations
 
@@ -28,28 +33,21 @@ class OptimizationLevel(Enum):
     INL_ONLY = "inl-only"
 
     @classmethod
+    def levels(cls) -> tuple[str, ...]:
+        """Every valid level name, in Table-6 order (for CLI/bench arg parsing)."""
+        return tuple(level.value for level in cls)
+
+    @classmethod
     def from_name(cls, name: str) -> "OptimizationLevel":
+        """Parse a level name (case-insensitive, ``_``/``-`` interchangeable)."""
         normalized = name.strip().lower().replace("_", "-")
         for level in cls:
             if level.value == normalized or level.name.lower() == normalized:
                 return level
-        raise ValueError(f"unknown optimization level {name!r}")
-
-    @property
-    def applies_trivial(self) -> bool:
-        return self is not OptimizationLevel.CANONICAL
-
-    @property
-    def applies_pushup(self) -> bool:
-        return self in (OptimizationLevel.O2, OptimizationLevel.O3, OptimizationLevel.O4)
-
-    @property
-    def applies_distribution(self) -> bool:
-        return self in (OptimizationLevel.O3, OptimizationLevel.O4)
-
-    @property
-    def applies_inlining(self) -> bool:
-        return self in (OptimizationLevel.O4, OptimizationLevel.INL_ONLY)
+        raise ValueError(
+            f"unknown optimization level {name!r}; valid levels: "
+            f"{', '.join(cls.levels())}"
+        )
 
 
 ALL_LEVELS = (

@@ -44,6 +44,8 @@ class PushUpOptimizer:
         self.context = context
         self.registry = context.conversions
         self.client = context.client
+        #: rewrite rules fired across one apply() (compiler instrumentation)
+        self.fired = 0
 
     # -- entry point ---------------------------------------------------------
 
@@ -98,13 +100,16 @@ class PushUpOptimizer:
             return None
 
         def replacer(node: ast.Expression) -> Optional[ast.Expression]:
+            replacement: Optional[ast.Expression] = None
             if isinstance(node, ast.BinaryOp) and node.op in _EQUALITY_OPS | _ORDER_OPS:
-                return self._pushup_comparison(node)
-            if isinstance(node, ast.Between):
-                return self._pushup_between(node)
-            if isinstance(node, ast.InList):
-                return self._pushup_in_list(node)
-            return None
+                replacement = self._pushup_comparison(node)
+            elif isinstance(node, ast.Between):
+                replacement = self._pushup_between(node)
+            elif isinstance(node, ast.InList):
+                replacement = self._pushup_in_list(node)
+            if replacement is not None:
+                self.fired += 1
+            return replacement
 
         return transform_expression(predicate, replacer)
 
@@ -195,6 +200,7 @@ class PushUpOptimizer:
         if not deferred:
             return query
         query.from_items = new_from
+        self.fired += len(deferred)
 
         def replacer(node: ast.Expression) -> Optional[ast.Expression]:
             if isinstance(node, ast.Column):

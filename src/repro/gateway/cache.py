@@ -9,8 +9,10 @@ canonical MTSQL→SQL rewrite → optimization passes — runs on every statemen
   the tenant-specific tables it touches, so a repeat execution skips the
   parse and the table walk needed for privilege pruning,
 * a **plan cache** maps ``(digest, client ttid, resolved D', optimization
-  level)`` to the fully rewritten and optimized SQL AST, so a repeat
-  execution skips the whole rewrite.
+  level)`` to the whole :class:`~repro.compile.CompiledQuery` artifact, so a
+  repeat execution skips the entire compilation — and, because the artifact
+  carries the shardability analysis and memoizes the backend's derived plan,
+  a warm hit on a sharded backend skips shard planning too.
 
 The resolved data set ``D'`` is part of the key because the rewritten SQL
 embeds it (ttid IN-lists, per-tenant conversion constants); a scope or
@@ -31,11 +33,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.optimizer.levels import OptimizationLevel
 from ..sql import ast
 from .fingerprint import Fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile.artifact import CompiledQuery
 
 
 @dataclass(frozen=True)
@@ -66,10 +71,17 @@ class StatementInfo:
 
 @dataclass(frozen=True)
 class CachedPlan:
-    """A fully rewritten and optimized statement, ready for the DBMS."""
+    """One cache entry: a compiled statement ready for the DBMS."""
 
-    rewritten: ast.Select
+    #: the full compilation artifact (what the session executes and the
+    #: sharded backend memoizes its plan on)
+    compiled: "CompiledQuery"
     key: CacheKey
+
+    @property
+    def rewritten(self) -> ast.Select:
+        """The rewritten statement to execute."""
+        return self.compiled.rewritten
 
 
 @dataclass
@@ -168,10 +180,10 @@ class RewriteCache:
             return plan
 
     def put(
-        self, key: CacheKey, rewritten: ast.Select, version: Optional[int] = None
+        self, key: CacheKey, compiled: "CompiledQuery", version: Optional[int] = None
     ) -> CachedPlan:
-        """Cache a rewritten plan; rejected (but returned) when stale."""
-        plan = CachedPlan(rewritten=rewritten, key=key)
+        """Cache a compiled statement; rejected (but returned) when stale."""
+        plan = CachedPlan(compiled=compiled, key=key)
         with self._lock:
             if self._disabled or self._version_is_stale(version):
                 return plan  # computed from pre-change metadata: execute, don't cache

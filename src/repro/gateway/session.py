@@ -4,12 +4,13 @@ A :class:`GatewaySession` wraps an :class:`~repro.core.client.MTConnection`
 and routes SELECT statements through the gateway's rewrite cache:
 
 * **cold path** — fingerprint, parse, resolve the scope to ``D`` and prune it
-  to ``D'``, run the canonical rewrite + optimization passes, cache the
-  result, execute (exactly the connection's own pipeline, so results are
-  byte-identical),
+  to ``D'``, compile through the middleware's staged pipeline, cache the
+  whole :class:`~repro.compile.CompiledQuery` artifact, execute (exactly the
+  connection's own pipeline, so results are byte-identical),
 * **warm path** — fingerprint (a lex), resolve ``D'`` from the cached table
-  list, fetch the rewritten AST and execute.  Parse and rewrite are skipped
-  entirely.
+  list, fetch the compiled artifact and execute.  Parse, compilation *and*
+  shard planning (the artifact memoizes the cluster plan) are skipped
+  entirely — zero compilations on a warm hit.
 
 Scope resolution and privilege pruning are **never** cached: ``D'`` is
 recomputed per execution and is part of the cache key, so a session that
@@ -183,15 +184,20 @@ class GatewaySession:
         plan = cache.get(key)
         if plan is None:
             version = cache.current_version()  # snapshot before reading metadata
-            rewritten = connection.rewrite_resolved(info.statement, pruned)
-            plan = cache.put(key, rewritten, version=version)
+            compiled = connection.compile_resolved(
+                info.statement, pruned, tables=info.tables
+            )
+            plan = cache.put(key, compiled, version=version)
             self.stats.cache_misses += 1
         else:
             self.stats.cache_hits += 1
         self.stats.executed += 1
         connection.last_rewritten = [plan.rewritten]
-        # pass D' along: a sharded backend prunes its shard fan-out with it
-        return connection.backend.execute_scoped(plan.rewritten, dataset=pruned)
+        # pass D' and the compiled artifact along: a sharded backend prunes
+        # its shard fan-out with D' and reuses the artifact's analysis/plan
+        return connection.backend.execute_scoped(
+            plan.rewritten, dataset=pruned, compiled=plan.compiled
+        )
 
     def __repr__(self) -> str:
         return (

@@ -278,6 +278,49 @@ def _collect_table_names(item: ast.FromItem, names: set[str]) -> None:
     # SubqueryRef tables are collected by walk_selects
 
 
+def count_nodes(node: Optional[ast.Node]) -> int:
+    """Total AST nodes in a statement or expression tree (sub-queries included).
+
+    The size metric behind the compiler's per-pass instrumentation
+    (:mod:`repro.compile`): every SELECT, FROM item, select/order item and
+    expression node counts as one.
+    """
+    if node is None:
+        return 0
+    if isinstance(node, ast.Select):
+        total = 1
+        for item in node.from_items:
+            total += _count_from_item_nodes(item)
+        for select_item in node.items:
+            total += 1 + count_nodes(select_item.expr)
+        total += count_nodes(node.where)
+        for expr in node.group_by:
+            total += count_nodes(expr)
+        total += count_nodes(node.having)
+        for order in node.order_by:
+            total += 1 + count_nodes(order.expr)
+        return total
+    total = 0
+    for sub in walk_expression(node):  # type: ignore[arg-type]
+        total += 1
+        if isinstance(sub, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            total += count_nodes(sub.query)
+    return total
+
+
+def _count_from_item_nodes(item: ast.FromItem) -> int:
+    if isinstance(item, ast.SubqueryRef):
+        return 1 + count_nodes(item.query)
+    if isinstance(item, ast.Join):
+        return (
+            1
+            + _count_from_item_nodes(item.left)
+            + _count_from_item_nodes(item.right)
+            + count_nodes(item.condition)
+        )
+    return 1
+
+
 def find_aggregate_calls(expr: Optional[ast.Expression]) -> list[ast.FunctionCall]:
     """All aggregate calls in an expression (sub-queries excluded)."""
     return [

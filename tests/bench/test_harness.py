@@ -75,6 +75,29 @@ class TestWorkloadSetup:
         with pytest.raises(ConfigurationError, match="REPRO_BENCH_BACKEND"):
             env_backend()
 
+    def test_env_level_override(self, monkeypatch):
+        from repro.errors import ConfigurationError
+        from repro.bench.workload import env_level
+
+        monkeypatch.delenv("REPRO_BENCH_LEVEL", raising=False)
+        assert env_level() == "o4"
+        monkeypatch.setenv("REPRO_BENCH_LEVEL", "O2")
+        assert env_level() == "o2"
+        assert WorkloadConfig().level == "o2"
+        monkeypatch.setenv("REPRO_BENCH_LEVEL", "inl_only")
+        assert env_level() == "inl-only"
+        monkeypatch.setenv("REPRO_BENCH_LEVEL", "o9")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_LEVEL"):
+            env_level()
+
+    def test_connection_defaults_to_the_configured_level(self, small_workload):
+        from repro.core.optimizer.levels import OptimizationLevel
+
+        configured = OptimizationLevel.from_name(small_workload.config.level)
+        assert small_workload.connection(client=1).optimization is configured
+        explicit = small_workload.connection(client=1, optimization="canonical")
+        assert explicit.optimization is OptimizationLevel.CANONICAL
+
     def test_sqlite_backend_workload_serves_queries(self):
         config = WorkloadConfig(scale_factor=0.0005, tenants=2, backend="sqlite")
         workload = load_workload(config)

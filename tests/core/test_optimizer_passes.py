@@ -7,6 +7,7 @@ rewrite (the optimization is semantics preserving).
 
 import pytest
 
+from repro.compile import LEVEL_PASSES, applies_trivial
 from repro.core.optimizer.levels import ALL_LEVELS, OptimizationLevel
 
 
@@ -38,17 +39,31 @@ class TestOptimizationLevels:
         assert OptimizationLevel.from_name("o4") is OptimizationLevel.O4
         assert OptimizationLevel.from_name("INL-ONLY") is OptimizationLevel.INL_ONLY
         assert OptimizationLevel.from_name("inl_only") is OptimizationLevel.INL_ONLY
-        with pytest.raises(ValueError):
+        # the error lists every valid level name (bench/CLI arg parsing relies
+        # on the same list via OptimizationLevel.levels())
+        with pytest.raises(ValueError, match="canonical, o1, o2, o3, o4, inl-only"):
             OptimizationLevel.from_name("o9")
 
-    def test_pass_flags_match_table_6(self):
-        assert not OptimizationLevel.CANONICAL.applies_trivial
-        assert OptimizationLevel.O1.applies_trivial and not OptimizationLevel.O1.applies_pushup
-        assert OptimizationLevel.O2.applies_pushup and not OptimizationLevel.O2.applies_distribution
-        assert OptimizationLevel.O3.applies_distribution and not OptimizationLevel.O3.applies_inlining
-        assert OptimizationLevel.O4.applies_inlining and OptimizationLevel.O4.applies_distribution
-        assert OptimizationLevel.INL_ONLY.applies_inlining
-        assert not OptimizationLevel.INL_ONLY.applies_pushup
+    def test_levels_helper_lists_table_6_order(self):
+        assert OptimizationLevel.levels() == (
+            "canonical", "o1", "o2", "o3", "o4", "inl-only",
+        )
+
+    def test_pass_mapping_matches_table_6(self):
+        assert LEVEL_PASSES[OptimizationLevel.CANONICAL] == ()
+        assert LEVEL_PASSES[OptimizationLevel.O1] == ()
+        assert LEVEL_PASSES[OptimizationLevel.O2] == ("pushup",)
+        assert LEVEL_PASSES[OptimizationLevel.O3] == ("pushup", "distribution")
+        assert LEVEL_PASSES[OptimizationLevel.O4] == ("pushup", "distribution", "inlining")
+        assert LEVEL_PASSES[OptimizationLevel.INL_ONLY] == ("inlining",)
+        # §4.1 is not a pass: every level but CANONICAL enables it as flags
+        assert not applies_trivial(OptimizationLevel.CANONICAL)
+        assert all(
+            applies_trivial(level)
+            for level in ALL_LEVELS
+            if level is not OptimizationLevel.CANONICAL
+        )
+        assert set(LEVEL_PASSES) == set(ALL_LEVELS)
         assert len(ALL_LEVELS) == 6
 
 

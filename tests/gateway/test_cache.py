@@ -15,8 +15,15 @@ def make_key(n: int, dataset=(0, 1)) -> CacheKey:
     )
 
 
+class _DummyCompiled:
+    """Minimal CompiledQuery stand-in: the cache itself only reads .rewritten."""
+
+    def __init__(self):
+        self.rewritten = parse_statement("SELECT 1 FROM Employees")
+
+
 def dummy_plan():
-    return parse_statement("SELECT 1 FROM Employees")
+    return _DummyCompiled()
 
 
 class TestLRU:

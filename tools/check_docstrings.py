@@ -39,6 +39,12 @@ PUBLIC_MODULES = (
     "repro/cluster/planner.py",
     "repro/cluster/merge.py",
     "repro/cluster/coordinator.py",
+    "repro/compile/__init__.py",
+    "repro/compile/analysis.py",
+    "repro/compile/artifact.py",
+    "repro/compile/compiler.py",
+    "repro/compile/explain.py",
+    "repro/compile/passes.py",
     "repro/core/middleware.py",
     "repro/core/client.py",
     "repro/gateway/__init__.py",
