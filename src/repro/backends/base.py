@@ -25,7 +25,7 @@ import abc
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
 
 from ..errors import BackendError
-from ..result import ExecuteResult, ExecutionStats, QueryResult
+from ..result import ExecuteResult, ExecutionStats, QueryResult, RowStream
 from ..sql import ast
 from ..sql.dialect import Dialect
 from ..sql.parser import parse_statements
@@ -100,6 +100,31 @@ class BackendConnection(abc.ABC):
         if not isinstance(result, QueryResult):
             raise BackendError("query() expects a SELECT statement")
         return result
+
+    def execute_stream(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
+    ) -> RowStream:
+        """Execute a SELECT, returning rows as an incremental
+        :class:`~repro.result.RowStream`.
+
+        The base implementation materializes via :meth:`execute_scoped` and
+        replays the row list — always correct, never incremental.  Backends
+        that can produce rows before the full result exists override it: the
+        engine streams its lazy pipeline, SQLite fetches from an open DBMS
+        cursor, the sharded cluster delegates its single-shard fast path to
+        the owning shard (merge and federated paths materialize).  Arguments
+        mean the same as for :meth:`execute_scoped`.
+        """
+        result = self.execute_scoped(
+            statement, dataset=dataset, parameters=parameters, compiled=compiled
+        )
+        if not isinstance(result, QueryResult):
+            raise BackendError("execute_stream() expects a SELECT statement")
+        return RowStream(columns=result.columns, rows=result.rows)
 
     # -- UDF registration ----------------------------------------------------
 

@@ -10,16 +10,20 @@ substitution, the engine's SQL-function convention).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
 from ..engine.database import Database
 from ..errors import BackendError
-from ..result import ExecuteResult, ExecutionStats
+from ..result import ExecuteResult, ExecutionStats, RowStream
 from ..sql import ast
 from ..sql.dialect import DEFAULT_DIALECT
+from ..sql.params import bind_parameters
 from ..sql.parser import parse_statement
 from ..sql.transform import transform_expression, transform_select
 from .base import Backend, BackendConnection, Statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile.artifact import CompiledQuery
 
 
 class EngineConnection(BackendConnection):
@@ -64,6 +68,28 @@ class EngineConnection(BackendConnection):
                 statement = parse_statement(statement)
             statement = _bind_parameters(statement, parameters)
         return self._database.execute(statement)
+
+    def execute_stream(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
+    ) -> RowStream:
+        """Stream a SELECT through the engine's lazy pipeline.
+
+        Streamable shapes (no grouping/ORDER BY/DISTINCT) yield their first
+        row having evaluated only that row; barrier shapes materialize
+        internally and replay.  ``dataset``/``compiled`` are routing and
+        artifact metadata single-database backends ignore.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if parameters:
+            statement = _bind_parameters(statement, parameters)
+        if not isinstance(statement, ast.Select):
+            raise BackendError("execute_stream() expects a SELECT statement")
+        return self._database.execute_stream(statement)
 
     # -- UDF registration ----------------------------------------------------
 
@@ -126,7 +152,13 @@ class EngineBackend(Backend):
 def _bind_parameters(
     statement: ast.Statement, parameters: Sequence[Any]
 ) -> ast.Statement:
-    """Substitute ``$n`` references with literal values (engine convention)."""
+    """Substitute parameter references with literal values.
+
+    Two placeholder conventions bind here: ``?``/``:name``
+    :class:`~repro.sql.ast.Parameter` nodes (the DB-API surface, handled by
+    :func:`repro.sql.params.bind_parameters`) and the engine's historic
+    ``$n`` column references (the SQL-function parameter convention).
+    """
     dialect = DEFAULT_DIALECT
 
     def replacer(node: ast.Expression) -> Optional[ast.Expression]:
@@ -141,6 +173,7 @@ def _bind_parameters(
                 return ast.Literal(parameters[index - 1])
         return None
 
+    statement = bind_parameters(statement, parameters)
     if isinstance(statement, ast.Select):
         return transform_select(statement, replacer)
     if isinstance(statement, ast.Insert):

@@ -37,11 +37,13 @@ from ..cluster.planner import (
     FederatedPlan,
     PartitionInfo,
     Plan,
+    SingleShardPlan,
 )
 from ..errors import ClusterError
-from ..result import ExecuteResult, ExecutionStats, StatementResult
+from ..result import ExecuteResult, ExecutionStats, RowStream, StatementResult
 from ..sql import ast
 from ..sql.dialect import Dialect
+from ..sql.params import bind_parameters, statement_parameters
 from ..sql.parser import parse_statement
 from .base import Backend, BackendConnection, Statement
 
@@ -176,6 +178,23 @@ class ShardedConnection(BackendConnection):
         parameters: Optional[Sequence[Any]],
         compiled: Optional["CompiledQuery"] = None,
     ) -> ExecuteResult:
+        plan = self._resolve_plan(statement, dataset, compiled)
+        if isinstance(plan, FederatedPlan):
+            return self._execute_federated(plan, dataset, parameters)
+        return self.coordinator.execute(plan, parameters)
+
+    def _resolve_plan(
+        self,
+        statement: ast.Select,
+        dataset: Optional[Sequence[int]],
+        compiled: Optional["CompiledQuery"],
+    ) -> Plan:
+        """The cluster plan for one SELECT, memoized on its compiled artifact.
+
+        Plans are derived from the *parameterized* statement (bind values
+        ride separately into the shards), so one memoized plan serves every
+        binding of a prepared statement.
+        """
         shards = self.placement.shards_for(dataset)
         plan: Optional[Plan] = None
         memo_key = None
@@ -194,9 +213,37 @@ class ShardedConnection(BackendConnection):
                 with self._lock:
                     compiled.attachments[memo_key] = plan
         self.last_plan = plan
+        return plan
+
+    def execute_stream(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
+    ) -> RowStream:
+        """Stream a SELECT: incremental on the single-shard fast path.
+
+        When ``D'`` lands on one shard the stream is the owning shard's own
+        ``execute_stream`` (truly incremental for engine and SQLite shards);
+        scatter-gather and federated plans must merge before the first row is
+        known, so they materialize and replay.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ast.Select):
+            raise ClusterError("execute_stream() expects a SELECT statement")
+        self.stats.add(statements=1)
+        plan = self._resolve_plan(statement, dataset, compiled)
+        if isinstance(plan, SingleShardPlan):
+            return self._shards[plan.shard].execute_stream(
+                plan.statement, parameters=parameters
+            )
         if isinstance(plan, FederatedPlan):
-            return self._execute_federated(plan, dataset, parameters)
-        return self.coordinator.execute(plan, parameters)
+            result = self._execute_federated(plan, dataset, parameters)
+        else:
+            result = self.coordinator.execute(plan, parameters)
+        return RowStream(columns=result.columns, rows=result.rows)
 
     # -- DDL ------------------------------------------------------------------
 
@@ -254,6 +301,12 @@ class ShardedConnection(BackendConnection):
                 "INSERT ... SELECT cannot be routed by the sharded backend; "
                 "the middleware materializes it into per-owner VALUES first"
             )
+        if parameters and statement_parameters(statement):
+            # routing reads concrete row values (the ttid column), so bind
+            # before inspecting the rows rather than passing through; $n-style
+            # values (no Parameter slots) keep the historic pass-through
+            statement = bind_parameters(statement, tuple(parameters))
+            parameters = None
         self._mark_scratch_stale(statement.table)
         info = self.catalog.partitioned.get(statement.table.lower())
         if info is None:

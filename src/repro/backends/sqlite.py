@@ -33,11 +33,17 @@ import sqlite3
 import tempfile
 import threading
 import weakref
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
 from ..engine.database import PROFILES, BackendProfile
 from ..errors import BackendError, ExecutionError
-from ..result import ExecuteResult, ExecutionStats, QueryResult, StatementResult
+from ..result import (
+    ExecuteResult,
+    ExecutionStats,
+    QueryResult,
+    RowStream,
+    StatementResult,
+)
 from ..sql import ast
 from ..sql.dialect import SQLITE_DIALECT
 from ..sql.parser import parse_query, parse_statement
@@ -45,7 +51,13 @@ from ..sql.printer import to_sql
 from ..sql.types import Date
 from .base import Backend, BackendConnection, Statement
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile.artifact import CompiledQuery
+
 _ISO_DATE = re.compile(r"\d{4}-\d{2}-\d{2}\Z")
+
+#: rows pulled per round-trip on the streaming path
+_STREAM_BATCH_SIZE = 256
 
 
 class _RegisteredFunction:
@@ -202,6 +214,54 @@ class SQLiteConnection(BackendConnection):
         else:
             rows = [tuple(row) for row in raw_rows]
         return QueryResult(columns=columns, rows=rows)
+
+    def execute_stream(
+        self,
+        statement: Statement,
+        dataset: Optional[Sequence[int]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+        compiled: Optional["CompiledQuery"] = None,
+    ) -> RowStream:
+        """Stream a SELECT from an open :mod:`sqlite3` cursor.
+
+        Rows are pulled from the DBMS in ``fetchmany`` batches as the
+        consumer advances, so the first rows arrive without materializing the
+        result set on either side.  Closing the returned stream closes the
+        underlying cursor.  Parameters bind natively (the statement renders
+        its placeholders as ``?NNN``).
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ast.Select):
+            raise BackendError("execute_stream() expects a SELECT statement")
+        bound = tuple(_to_sqlite(value) for value in (parameters or ()))
+        sql = to_sql(statement, self.dialect)
+        with self._lock:
+            self._ensure_open()
+            self.stats.add(statements=1)
+            try:
+                cursor = self._main.execute(sql, bound)
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"sqlite SELECT failed: {exc}\n  sql: {sql}"
+                ) from exc
+            columns = [description[0] for description in cursor.description or ()]
+        convert = self.convert_iso_dates
+
+        def produce():
+            while True:
+                with self._lock:
+                    self._ensure_open()
+                    batch = cursor.fetchmany(_STREAM_BATCH_SIZE)
+                if not batch:
+                    return
+                for raw in batch:
+                    if convert:
+                        yield tuple(_from_sqlite(value) for value in raw)
+                    else:
+                        yield tuple(raw)
+
+        return RowStream(columns=columns, rows=produce(), on_close=cursor.close)
 
     def _execute_create_table(self, statement: ast.CreateTable) -> StatementResult:
         # The physical statement must be MT-annotation-free plain SQL.  PK and

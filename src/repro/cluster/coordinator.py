@@ -133,14 +133,18 @@ class ShardCoordinator:
             bindings: dict[str, Any] = dict(zip(split.key_texts, key))
             for state in states:
                 bindings[state.spec.text] = state.result()
-            evaluator = MergeEvaluator(bindings, functions=self._functions)
+            evaluator = MergeEvaluator(
+                bindings, functions=self._functions, parameters=parameters
+            )
             values = tuple(evaluator.evaluate(item.expr) for item in statement.items)
             aliases = {
                 alias: value
                 for alias, value in zip(aliases_by_position, values)
                 if alias is not None
             }
-            final = MergeEvaluator(bindings, aliases, functions=self._functions)
+            final = MergeEvaluator(
+                bindings, aliases, functions=self._functions, parameters=parameters
+            )
             if statement.having is not None and final.evaluate(statement.having) is not True:
                 continue
             sort_values = tuple(final.evaluate(expr) for expr, _ in order_specs)

@@ -143,10 +143,12 @@ class MergeEvaluator:
         bindings: dict[str, Any],
         aliases: Optional[dict[str, Any]] = None,
         functions: Optional[dict[str, Any]] = None,
+        parameters: Optional[Sequence[Any]] = None,
     ) -> None:
         self.bindings = bindings
         self.aliases = aliases or {}
         self.functions = functions if functions is not None else {}
+        self.parameters = tuple(parameters) if parameters is not None else None
 
     def evaluate(self, expr: ast.Expression) -> Any:
         """Evaluate one expression tree to a Python value."""
@@ -155,6 +157,12 @@ class MergeEvaluator:
             return bound
         if isinstance(expr, ast.Literal):
             return expr.value
+        if isinstance(expr, ast.Parameter):
+            if self.parameters is None or not 1 <= expr.index <= len(self.parameters):
+                raise ExecutionError(
+                    f"merge evaluator has no value for parameter {to_sql(expr)}"
+                )
+            return self.parameters[expr.index - 1]
         if isinstance(expr, ast.Column):
             if expr.table is None and expr.name.lower() in self.aliases:
                 return self.aliases[expr.name.lower()]

@@ -25,6 +25,7 @@ from .analysis import QueryAnalysis
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.conversion import ConversionRegistry
     from ..core.optimizer.levels import OptimizationLevel
+    from ..sql.params import ParameterSlot
 
 
 def conversion_census(select: ast.Select, registry: "ConversionRegistry") -> dict[str, int]:
@@ -118,6 +119,9 @@ class CompiledQuery:
     level: OptimizationLevel
     #: the tenant-specific tables the statement touches (privilege pruning)
     tables: tuple[str, ...]
+    #: the statement's bind-parameter slots, in index order (empty when the
+    #: statement is not parameterized); one artifact serves every binding
+    parameters: tuple["ParameterSlot", ...]
     #: the shardability / tenant-local-key analysis of ``rewritten``
     analysis: QueryAnalysis
     #: per-stage instrumentation, in execution order

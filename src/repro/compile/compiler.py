@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from ..core.rewrite.canonical import CanonicalRewriter
 from ..core.rewrite.context import RewriteContext, RewriteOptions
 from ..sql import ast
+from ..sql.params import statement_parameters
 from ..sql.transform import count_nodes
 from .analysis import ClusterCatalog, PartitionInfo, ShardabilityAnalyzer
 from .artifact import CompiledQuery, ConversionCensus, PassRecord, conversion_census
@@ -154,6 +155,7 @@ class QueryCompiler:
         for pruning, recorded on the artifact for cache consumers.
         """
         started = time.perf_counter()
+        parameters = statement_parameters(query)
         context = self.rewrite_context(client, dataset, level)
         records: list[PassRecord] = []
 
@@ -212,6 +214,7 @@ class QueryCompiler:
             dataset=tuple(dataset),
             level=level,
             tables=tuple(tables),
+            parameters=parameters,
             analysis=analysis,
             passes=tuple(records),
             conversions=ConversionCensus(

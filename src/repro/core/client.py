@@ -21,10 +21,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..errors import MTSQLError, PrivilegeError
-from ..result import QueryResult, StatementResult
+from ..result import QueryResult, RowStream, StatementResult
 from ..sql import ast
 from ..sql.dialect import Dialect, get_dialect
-from ..sql.parser import parse_statement
+from ..sql.params import (
+    ParameterValues,
+    bind_parameters,
+    resolve_parameters,
+    statement_parameters,
+)
+from ..sql.parser import parse_submitted_statement
 from ..sql.printer import to_sql
 from ..sql.transform import walk_expression
 from .dml import DMLRewriter
@@ -95,10 +101,29 @@ class MTConnection:
 
     # -- statement execution ---------------------------------------------------------
 
-    def execute(self, statement: Union[str, ast.Statement]):
-        """Execute one MTSQL statement and return the relayed DBMS result."""
+    def execute(
+        self,
+        statement: Union[str, ast.Statement],
+        parameters: Optional[ParameterValues] = None,
+    ):
+        """Execute one MTSQL statement and return the relayed DBMS result.
+
+        ``parameters`` bind a parameterized statement's ``?``/``:name``
+        placeholders (positional sequence or ``{name: value}`` mapping).
+        SELECT statements keep their parameters through compilation and bind
+        at the backend; DML binds by literal substitution up front because
+        the MTSQL rewrite routes on concrete values (per-owner INSERTs).
+        Unparsable SQL raises :class:`~repro.errors.InvalidStatementError`
+        with the offending fragment.
+        """
         if isinstance(statement, str):
-            statement = parse_statement(statement)
+            statement = parse_submitted_statement(statement)
+        slots = statement_parameters(statement)
+        if parameters is not None or slots:
+            values = resolve_parameters(slots, parameters)
+            if isinstance(statement, ast.Select):
+                return self._execute_query(statement, values)
+            statement = bind_parameters(statement, values)
         if isinstance(statement, ast.SetScope):
             self.set_scope(statement.scope_text)
             self.last_rewritten = []
@@ -133,20 +158,55 @@ class MTConnection:
                 f"primary backend"
             )
 
-    def query(self, statement: Union[str, ast.Select]) -> QueryResult:
+    def query(
+        self,
+        statement: Union[str, ast.Select],
+        parameters: Optional[ParameterValues] = None,
+    ) -> QueryResult:
         """Execute a SELECT and return its :class:`QueryResult`."""
-        result = self.execute(statement)
+        result = self.execute(statement, parameters=parameters)
         if not isinstance(result, QueryResult):
             raise MTSQLError("query() expects a SELECT statement")
         return result
+
+    def query_stream(
+        self,
+        statement: Union[str, ast.Select],
+        parameters: Optional[ParameterValues] = None,
+    ) -> RowStream:
+        """Execute a SELECT as an incremental :class:`~repro.result.RowStream`.
+
+        The statement goes through the ordinary compile pipeline; the
+        backend's ``execute_stream`` produces rows on demand (lazily on the
+        engine, from an open cursor on SQLite, via the single-shard fast path
+        on a cluster — other shapes materialize and replay).
+        """
+        if isinstance(statement, str):
+            statement = parse_submitted_statement(statement)
+        if not isinstance(statement, ast.Select):
+            raise MTSQLError("query_stream() expects a SELECT statement")
+        values = resolve_parameters(statement_parameters(statement), parameters)
+        compiled = self.compile(statement)
+        self.last_rewritten = [compiled.rewritten]
+        return self.backend.execute_stream(
+            compiled.rewritten,
+            dataset=compiled.dataset,
+            parameters=values or None,
+            compiled=compiled,
+        )
 
     # -- compilation entry points (used by the gateway, tests, examples, bench) -------
 
     def compile(self, statement: Union[str, ast.Select]) -> "CompiledQuery":
         """Compile a query without executing it: resolve the scope, prune it
-        to ``D'`` and run the middleware's staged pipeline once."""
+        to ``D'`` and run the middleware's staged pipeline once.
+
+        Unparsable SQL raises :class:`~repro.errors.InvalidStatementError`
+        with the offending fragment (the same error ``GatewaySession.
+        prepare`` raises), so both compilation entry points fail alike.
+        """
         if isinstance(statement, str):
-            statement = parse_statement(statement)
+            statement = parse_submitted_statement(statement)
         if not isinstance(statement, ast.Select):
             raise MTSQLError("compile() expects a SELECT statement")
         tables = tuple(sorted(self.statement_tables(statement)))
@@ -230,14 +290,18 @@ class MTConnection:
 
     # -- internals ----------------------------------------------------------------------
 
-    def _execute_query(self, query: ast.Select) -> QueryResult:
+    def _execute_query(self, query: ast.Select, parameters: tuple = ()) -> QueryResult:
         compiled = self.compile(query)
         self.last_rewritten = [compiled.rewritten]
         # D' is routing metadata: a sharded backend prunes its fan-out to the
         # shards owning these tenants (single-database backends ignore it);
-        # the artifact rides along so the cluster planner reuses its analysis
+        # the artifact rides along so the cluster planner reuses its analysis,
+        # and bind values travel separately from the parameterized statement
         return self.backend.execute_scoped(
-            compiled.rewritten, dataset=compiled.dataset, compiled=compiled
+            compiled.rewritten,
+            dataset=compiled.dataset,
+            parameters=parameters or None,
+            compiled=compiled,
         )
 
     def prune_dataset(

@@ -29,7 +29,7 @@ from .ddl import (
     execute_drop_view,
 )
 from .dml import execute_delete, execute_insert, execute_update
-from .executor import ExecutionStats, Executor, QueryResult
+from .executor import ExecutionStats, Executor, QueryResult, RowStream
 from .functions import PythonFunction, SQLFunction
 
 
@@ -122,6 +122,19 @@ class Database:
     def execute_script(self, sql: str) -> list[ExecuteResult]:
         """Execute a ``;``-separated script, returning one result per statement."""
         return [self.execute(statement) for statement in parse_statements(sql)]
+
+    def execute_stream(self, statement: Union[str, ast.Select]) -> RowStream:
+        """Execute a SELECT as a lazily produced row stream.
+
+        See :meth:`repro.engine.executor.Executor.execute_stream`; the
+        statement counter ticks at call time, like :meth:`execute`.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ast.Select):
+            raise ExecutionError("execute_stream() expects a SELECT statement")
+        self.stats.add(statements=1)
+        return self.executor.execute_stream(statement)
 
     def query(self, sql: Union[str, ast.Select]) -> QueryResult:
         """Execute a SELECT and return its :class:`QueryResult`."""

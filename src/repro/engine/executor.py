@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..errors import ExecutionError, FunctionError
-from ..result import ExecutionStats, QueryResult
+from ..result import ExecutionStats, QueryResult, RowStream
 from ..sql import ast
 from ..sql.printer import to_sql
 from ..sql.transform import transform_expression
@@ -304,6 +304,48 @@ class PreparedSelect:
             self._cache_value_set = value_set
         return value_set
 
+    @property
+    def streamable(self) -> bool:
+        """Whether :meth:`stream` can yield rows before the full set exists.
+
+        Grouping/aggregation, ``ORDER BY`` and ``DISTINCT`` are barriers (the
+        last row can change the first output row), so only plain
+        project-filter-join queries stream incrementally; everything else
+        falls back to the materializing path inside :meth:`stream`.
+        """
+        return not self._grouped and not self._order_fns and not self._distinct
+
+    def stream(self, outers: tuple = ()):
+        """Yield projected rows lazily (see :attr:`streamable`).
+
+        The lazy path pulls rows one at a time from the join pipeline's
+        :meth:`~repro.engine.planner.JoinPipeline.iter_rows` spine, applies
+        the post-filters and the projection per row and honours ``LIMIT`` by
+        stopping the pull early.  Laziness covers joining and projection —
+        never the full *result set* is materialized; each base scan still
+        evaluates its pushed-down filters over its whole table when first
+        pulled (sources produce row lists).  Cached rows (uncorrelated
+        sub-query memo) and non-streamable shapes are simply replayed from
+        the materialized result.
+        """
+        if not self.streamable or (not self.correlated and self._cache_rows is not None):
+            yield from self.run(outers)
+            return
+        self._context.database.stats.add(subquery_runs=1)
+        filters = self._post_filters
+        item_fns = self._item_fns
+        limit = self._limit
+        produced = 0
+        for row in self._pipeline.iter_rows(outers):
+            if filters and not all(
+                predicate(row, outers) is True for predicate in filters
+            ):
+                continue
+            yield tuple(fn(row, outers) for fn in item_fns)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
     def _run_uncached(self, outers: tuple) -> list[tuple]:
         self._context.database.stats.add(subquery_runs=1)
         rows = self._pipeline.execute(outers)
@@ -395,6 +437,16 @@ class Executor:
         prepared = self.prepare(select, None)
         rows = prepared.run(())
         return QueryResult(columns=prepared.output_columns, rows=rows)
+
+    def execute_stream(self, select: ast.Select) -> RowStream:
+        """Execute a SELECT as a lazily produced :class:`RowStream`.
+
+        Streamable shapes (see :attr:`PreparedSelect.streamable`) yield their
+        first row without materializing the result; barrier shapes (grouping,
+        ``ORDER BY``, ``DISTINCT``) materialize internally and replay.
+        """
+        prepared = self.prepare(select, None)
+        return RowStream(columns=prepared.output_columns, rows=prepared.stream(()))
 
     def prepare(self, select: ast.Select, parent_scope: Optional[Scope]) -> PreparedSelect:
         return PreparedSelect(self, select, parent_scope)

@@ -128,6 +128,15 @@ class ExpressionCompiler:
     def _compile_star(self, expr: ast.Star) -> CompiledExpr:
         raise ExecutionError("'*' is only valid in SELECT lists and COUNT(*)")
 
+    def _compile_parameter(self, expr: ast.Parameter) -> CompiledExpr:
+        # parameters are bound (substituted as literals) before statements
+        # reach the engine; hitting one here means nobody supplied values
+        name = f":{expr.name}" if expr.name else f"?{expr.index}"
+        raise ExecutionError(
+            f"statement has an unbound parameter {name}; supply values via "
+            f"execute(..., parameters=...) or the repro.api cursor"
+        )
+
     # -- operators ----------------------------------------------------------
 
     def _compile_binaryop(self, expr: ast.BinaryOp) -> CompiledExpr:

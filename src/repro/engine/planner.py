@@ -260,6 +260,59 @@ class JoinPipeline:
             ]
         return current
 
+    def iter_rows(self, outers: tuple):
+        """Yield joined rows lazily along the pipeline's left spine.
+
+        Each source still materializes its own (filtered) scan, and each
+        join step builds its right-side hash table up front; what is lazy is
+        the join *output*: left rows flow through one at a time, so the
+        first joined row is produced without computing the full cross
+        product — the engine's streaming path
+        (:meth:`repro.engine.executor.PreparedSelect.stream`).
+        """
+        current = iter(self._first.rows(outers))
+        for step in self._steps:
+            current = self._iter_step(step, current, outers)
+        if self._final_residuals:
+            residuals = self._final_residuals
+            current = (
+                row
+                for row in current
+                if all(predicate(row, outers) is True for predicate in residuals)
+            )
+        yield from current
+
+    @staticmethod
+    def _iter_step(step: _JoinStep, current, outers: tuple):
+        new_rows = step.source.rows(outers)
+        residuals = step.residuals
+        if step.probe_fns:
+            table: dict[tuple, list[tuple]] = {}
+            for row in new_rows:
+                key = tuple(fn(row, outers) for fn in step.build_fns)
+                table.setdefault(key, []).append(row)
+            for left_row in current:
+                key = tuple(fn(left_row, outers) for fn in step.probe_fns)
+                bucket = table.get(key)
+                if not bucket:
+                    continue
+                for right_row in bucket:
+                    joined = left_row + right_row
+                    if residuals and not all(
+                        predicate(joined, outers) is True for predicate in residuals
+                    ):
+                        continue
+                    yield joined
+        else:
+            for left_row in current:
+                for right_row in new_rows:
+                    joined = left_row + right_row
+                    if residuals and not all(
+                        predicate(joined, outers) is True for predicate in residuals
+                    ):
+                        continue
+                    yield joined
+
     @staticmethod
     def _execute_step(step: _JoinStep, current: list[tuple], outers: tuple) -> list[tuple]:
         new_rows = step.source.rows(outers)
@@ -309,6 +362,10 @@ class EmptyPipeline:
 
     def execute(self, outers: tuple) -> list[tuple]:
         return [()]
+
+    def iter_rows(self, outers: tuple):
+        """The single empty row, as a (trivially lazy) iterator."""
+        yield ()
 
     def children(self) -> list["PreparedSelect"]:
         return []

@@ -40,6 +40,43 @@ class ParseError(SQLError):
         self.position = position
 
 
+class InvalidStatementError(ParseError):
+    """Raised when client-submitted SQL text cannot be lexed or parsed.
+
+    Every statement-accepting entry point (``MTConnection.execute/compile``,
+    ``GatewaySession.prepare/execute``, the DB-API cursor) normalizes lexer
+    and parser failures onto this one type, so callers handle bad SQL
+    uniformly no matter which layer rejected it.  The message always carries
+    the offending statement fragment; subclassing :class:`ParseError` keeps
+    ``except ParseError`` call sites working.
+    """
+
+    @classmethod
+    def from_sql(cls, sql: str, cause: Exception) -> "InvalidStatementError":
+        """Build the normalized error for ``sql``, quoting the bad fragment.
+
+        ``cause`` is the underlying :class:`LexerError`/:class:`ParseError`;
+        its ``position`` (when known) centres the quoted fragment on the
+        offending input.
+        """
+        position = getattr(cause, "position", -1)
+        if position is None or position < 0 or position > len(sql):
+            fragment, position = sql.strip()[:60], -1
+        else:
+            start = max(0, position - 20)
+            fragment = sql[start : position + 40].strip()
+        ellipsis = "..." if len(sql.strip()) > len(fragment) else ""
+        return cls(f"invalid statement near {fragment!r}{ellipsis}: {cause}", position)
+
+
+class ParameterError(SQLError):
+    """Raised when bind-parameter values do not match a statement's slots.
+
+    Covers missing/extra positional values, unknown/missing parameter names
+    and executing a parameterized statement without any bindings at all.
+    """
+
+
 class CatalogError(SQLError):
     """Raised for schema problems: unknown tables/columns, duplicates, ..."""
 
@@ -102,3 +139,14 @@ class RewriteError(MTSQLError):
 
 class ConversionError(MTSQLError):
     """Raised when a conversion function pair is invalid or misapplied."""
+
+
+class NotSupportedError(SQLError):
+    """Raised when a requested operation is not supported by this library.
+
+    The DB-API layer (:mod:`repro.api`) re-exports this under its PEP 249
+    name (e.g. ``Connection.rollback`` on the autocommit backends).
+    Subclassing :class:`SQLError` keeps PEP 249's mandated hierarchy —
+    ``NotSupportedError`` must be caught by ``except DatabaseError`` (the
+    alias of :class:`SQLError`).
+    """

@@ -41,6 +41,7 @@ from .fingerprint import Fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compile.artifact import CompiledQuery
+    from ..sql.params import ParameterSlot
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,10 @@ class StatementInfo:
     statement: ast.Statement
     tables: tuple[str, ...]
     fingerprint: Fingerprint
+    #: the statement's bind-parameter slots (empty when unparameterized); the
+    #: session resolves client-supplied values against these without
+    #: re-walking the AST
+    parameters: tuple["ParameterSlot", ...] = ()
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,12 @@ and routes SELECT statements through the gateway's rewrite cache:
   shard planning (the artifact memoizes the cluster plan) are skipped
   entirely — zero compilations on a warm hit.
 
+Statements may carry ``?``/``:name`` **bind parameters**: the cache is keyed
+on the *parameterized* fingerprint, so one compiled artifact serves every
+binding — values resolve per execution and bind at the backend (natively on
+SQLite, by literal substitution on the engine, by pass-through on a
+cluster).  This is what makes the cache a true prepared-statement cache.
+
 Scope resolution and privilege pruning are **never** cached: ``D'`` is
 recomputed per execution and is part of the cache key, so a session that
 changes its scope (or loses a privilege) can never be served a stale plan.
@@ -31,10 +37,16 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Union
 
-from ..errors import MTSQLError
-from ..result import QueryResult
+from ..errors import InvalidStatementError, LexerError, MTSQLError
+from ..result import QueryResult, RowStream
 from ..sql import ast
-from ..sql.parser import parse_statement
+from ..sql.params import (
+    ParameterValues,
+    bind_parameters,
+    resolve_parameters,
+    statement_parameters,
+)
+from ..sql.parser import parse_submitted_statement
 from .cache import CacheKey, StatementInfo
 from .fingerprint import Fingerprint, fingerprint_statement
 
@@ -100,9 +112,14 @@ class GatewaySession:
     # -- prepared statements ----------------------------------------------------
 
     def prepare(self, sql: str) -> int:
-        """Parse ``sql`` once and return a handle for repeated execution."""
+        """Parse ``sql`` once and return a handle for repeated execution.
+
+        Unparsable SQL raises :class:`~repro.errors.InvalidStatementError`
+        with the offending fragment — the same error every other
+        statement-accepting entry point raises.
+        """
         with self._lock:
-            fingerprint = fingerprint_statement(sql)
+            fingerprint = self._fingerprint(sql)
             self._statement_info(sql, fingerprint)  # parse eagerly, fail fast
             handle = self._next_handle
             self._next_handle += 1
@@ -124,52 +141,122 @@ class GatewaySession:
 
     # -- execution ---------------------------------------------------------------
 
-    def execute(self, statement: Union[str, int], scope=None):
+    def execute(self, statement: Union[str, int], scope=None, parameters=None):
         """Execute one MTSQL statement (text or a prepared handle).
 
         ``scope`` optionally switches the session scope first, atomically with
-        the execution (convenient for multi-scope workloads).
+        the execution (convenient for multi-scope workloads).  ``parameters``
+        bind a parameterized statement's ``?``/``:name`` placeholders — a
+        positional sequence or a ``{name: value}`` mapping.  The cache is
+        keyed on the *parameterized* text, so one compiled artifact serves
+        every binding.
+        """
+        return self._run(statement, scope, parameters, stream=False)
+
+    def execute_stream(
+        self, statement: Union[str, int], scope=None, parameters=None
+    ) -> RowStream:
+        """Execute a SELECT through the cache as an incremental row stream.
+
+        The warm path is identical to :meth:`execute` up to the backend call,
+        which goes through ``execute_stream`` instead — on backends with a
+        streaming fast path the first rows arrive before the result set is
+        materialized.
         """
         with self._lock:
-            if scope is not None:
-                self.connection.set_scope(scope)
-            if isinstance(statement, int):
-                try:
-                    prepared = self._prepared[statement]
-                except KeyError as exc:
-                    raise MTSQLError(f"unknown prepared-statement handle {statement}") from exc
-                text, fingerprint = prepared.text, prepared.fingerprint
-            else:
-                text, fingerprint = statement, fingerprint_statement(statement)
-            info = self._statement_info(text, fingerprint)
+            info, values = self._prepare_execution(statement, scope, parameters)
+            if not isinstance(info.statement, ast.Select):
+                raise MTSQLError("execute_stream() expects a SELECT statement")
+            return self._execute_select(info, values, stream=True)
+
+    def execute_incremental(self, statement: Union[str, int], scope=None, parameters=None):
+        """Statement-kind-agnostic streaming execution (the DB-API entry).
+
+        SELECTs return a :class:`~repro.result.RowStream` (exactly
+        :meth:`execute_stream`); every other statement kind executes through
+        the connection pipeline and returns its ordinary result — so a cursor
+        can submit any statement without knowing its kind up front.
+        """
+        return self._run(statement, scope, parameters, stream=True)
+
+    def _run(
+        self,
+        statement: Union[str, int],
+        scope,
+        parameters: Optional[ParameterValues],
+        stream: bool,
+    ):
+        """Shared execution body of :meth:`execute`/:meth:`execute_incremental`."""
+        with self._lock:
+            info, values = self._prepare_execution(statement, scope, parameters)
             if isinstance(info.statement, ast.Select):
-                return self._execute_select(info)
-            # non-SELECT: the connection pipeline handles DML/DDL/DCL/SET SCOPE
+                return self._execute_select(info, values, stream=stream)
+            # non-SELECT: the connection pipeline handles DML/DDL/DCL/SET
+            # SCOPE; parameters bind by literal substitution because the DML
+            # rewrite routes on concrete values (per-owner INSERTs)
             self.stats.delegated += 1
             self.stats.executed += 1
-            return self.connection.execute(info.statement)
+            bound = (
+                bind_parameters(info.statement, values) if values else info.statement
+            )
+            return self.connection.execute(bound)
 
-    def query(self, statement: Union[str, int], scope=None) -> QueryResult:
+    def query(self, statement: Union[str, int], scope=None, parameters=None) -> QueryResult:
         """Execute a SELECT (text or prepared handle) through the cache."""
-        result = self.execute(statement, scope=scope)
+        result = self.execute(statement, scope=scope, parameters=parameters)
         if not isinstance(result, QueryResult):
             raise MTSQLError("query() expects a SELECT statement")
         return result
 
     # -- internals ----------------------------------------------------------------
 
+    def _prepare_execution(
+        self,
+        statement: Union[str, int],
+        scope,
+        parameters: Optional[ParameterValues],
+    ) -> tuple[StatementInfo, tuple]:
+        """Shared front half of execute/execute_stream: scope, info, bindings."""
+        if scope is not None:
+            self.connection.set_scope(scope)
+        if isinstance(statement, int):
+            try:
+                prepared = self._prepared[statement]
+            except KeyError as exc:
+                raise MTSQLError(f"unknown prepared-statement handle {statement}") from exc
+            text, fingerprint = prepared.text, prepared.fingerprint
+        else:
+            text, fingerprint = statement, self._fingerprint(statement)
+        info = self._statement_info(text, fingerprint)
+        values = resolve_parameters(info.parameters, parameters)
+        return info, values
+
+    @staticmethod
+    def _fingerprint(text: str) -> Fingerprint:
+        try:
+            return fingerprint_statement(text)
+        except LexerError as exc:
+            raise InvalidStatementError.from_sql(text, exc) from exc
+
     def _statement_info(self, text: str, fingerprint: Fingerprint) -> StatementInfo:
         cache = self.gateway.cache
         info = cache.get_info(fingerprint.digest)
         if info is None:
             version = cache.current_version()  # snapshot before reading the schema
-            parsed = parse_statement(text)
+            parsed = parse_submitted_statement(text)
             tables = tuple(sorted(self.connection.statement_tables(parsed)))
-            info = StatementInfo(statement=parsed, tables=tables, fingerprint=fingerprint)
+            info = StatementInfo(
+                statement=parsed,
+                tables=tables,
+                fingerprint=fingerprint,
+                parameters=statement_parameters(parsed),
+            )
             cache.put_info(fingerprint.digest, info, version=version)
         return info
 
-    def _execute_select(self, info: StatementInfo) -> QueryResult:
+    def _execute_select(
+        self, info: StatementInfo, parameters: tuple = (), stream: bool = False
+    ):
         connection = self.connection
         dataset = connection.dataset()
         pruned = connection.prune_dataset(dataset, info.tables, privilege="READ")
@@ -193,10 +280,22 @@ class GatewaySession:
             self.stats.cache_hits += 1
         self.stats.executed += 1
         connection.last_rewritten = [plan.rewritten]
-        # pass D' and the compiled artifact along: a sharded backend prunes
-        # its shard fan-out with D' and reuses the artifact's analysis/plan
+        # pass D', the bind values and the compiled artifact along: a sharded
+        # backend prunes its shard fan-out with D' and reuses the artifact's
+        # analysis/plan; parameters bind at the backend (natively where the
+        # DBMS supports placeholders, by literal substitution elsewhere)
+        if stream:
+            return connection.backend.execute_stream(
+                plan.rewritten,
+                dataset=pruned,
+                parameters=parameters or None,
+                compiled=plan.compiled,
+            )
         return connection.backend.execute_scoped(
-            plan.rewritten, dataset=pruned, compiled=plan.compiled
+            plan.rewritten,
+            dataset=pruned,
+            parameters=parameters or None,
+            compiled=plan.compiled,
         )
 
     def __repr__(self) -> str:

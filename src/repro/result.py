@@ -4,11 +4,16 @@ Every execution backend (the in-memory engine, SQLite, ...) returns the same
 result shapes, so the layers above — the MTBase middleware, the gateway, the
 benchmark harness — never need to know which DBMS actually ran a statement:
 
-* :class:`QueryResult` for SELECT statements,
+* :class:`QueryResult` for materialized SELECT results,
+* :class:`RowStream` for incrementally produced SELECT results (the DB-API
+  cursor's ``fetchmany`` path),
 * :class:`StatementResult` for everything else,
 * :class:`ExecutionStats` for the statement/UDF counters the benchmarks and
   tests read.
 
+Both SELECT shapes share the :class:`ColumnAccess` protocol — ``columns``,
+``column_index`` and lazy ``iter_dicts`` work without materializing rows
+(see ``docs/api.md`` for the full container protocol).
 :mod:`repro.engine` re-exports these names for backwards compatibility.
 """
 
@@ -16,13 +21,59 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from .errors import ExecutionError
 
 
+class ColumnAccess:
+    """Column-name protocol shared by materialized and streaming results.
+
+    Implementors provide a ``columns`` attribute/property; everything here
+    derives from it and never touches rows, so it is as valid on a
+    :class:`RowStream` whose rows have not been produced yet as on a fully
+    materialized :class:`QueryResult`.
+    """
+
+    columns: list[str]
+
+    def column_index(self, name: str) -> int:
+        """Position of the result column ``name`` (case-insensitive).
+
+        Raises :class:`ExecutionError` both for a missing column and for an
+        ambiguous one — silently returning the first of several same-named
+        columns would make ``column_values`` read the wrong data.
+        """
+        target = name.lower()
+        matches = [
+            index for index, column in enumerate(self.columns) if column.lower() == target
+        ]
+        if not matches:
+            raise ExecutionError(f"result has no column {name!r}")
+        if len(matches) > 1:
+            raise ExecutionError(
+                f"ambiguous result column {name!r}: appears at positions {matches}; "
+                f"alias the query's output columns to disambiguate"
+            )
+        return matches[0]
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate over row tuples (implementors define row production)."""
+        raise NotImplementedError
+
+    def iter_dicts(self) -> Iterator[dict[str, Any]]:
+        """Rows as ``{column: value}`` dicts, produced lazily in row order.
+
+        On a :class:`RowStream` this consumes the stream row by row without
+        ever holding the full result.
+        """
+        columns = self.columns
+        for row in self:
+            yield dict(zip(columns, row))
+
+
 @dataclass(repr=False)
-class QueryResult:
+class QueryResult(ColumnAccess):
     """Result of executing a SELECT: column names plus row tuples.
 
     The container protocol mirrors a row list: ``len(result)`` and
@@ -51,26 +102,6 @@ class QueryResult:
         """Concise summary — the dataclass default would dump every row."""
         return f"QueryResult(columns={self.columns!r}, rows=<{len(self.rows)} rows>)"
 
-    def column_index(self, name: str) -> int:
-        """Position of the result column ``name`` (case-insensitive).
-
-        Raises :class:`ExecutionError` both for a missing column and for an
-        ambiguous one — silently returning the first of several same-named
-        columns would make ``column_values`` read the wrong data.
-        """
-        target = name.lower()
-        matches = [
-            index for index, column in enumerate(self.columns) if column.lower() == target
-        ]
-        if not matches:
-            raise ExecutionError(f"result has no column {name!r}")
-        if len(matches) > 1:
-            raise ExecutionError(
-                f"ambiguous result column {name!r}: appears at positions {matches}; "
-                f"alias the query's output columns to disambiguate"
-            )
-        return matches[0]
-
     def column_values(self, name: str) -> list[Any]:
         """All values of the (unambiguous) result column ``name``, row order."""
         index = self.column_index(name)
@@ -78,7 +109,7 @@ class QueryResult:
 
     def as_dicts(self) -> list[dict[str, Any]]:
         """The rows as ``{column: value}`` dicts (later duplicate names win)."""
-        return [dict(zip(self.columns, row)) for row in self.rows]
+        return list(self.iter_dicts())
 
     def first(self) -> Optional[tuple]:
         """The first row, or ``None`` for an empty result."""
@@ -90,6 +121,91 @@ class QueryResult:
         if not self.rows or not self.rows[0]:
             return None
         return self.rows[0][0]
+
+
+class RowStream(ColumnAccess):
+    """An incrementally produced SELECT result: columns now, rows on demand.
+
+    Backends return a ``RowStream`` from ``execute_stream`` when they can
+    yield rows before the full result set exists (the engine's lazy pipeline,
+    SQLite's incremental cursor, the cluster's single-shard path); backends
+    that must materialize simply wrap the finished row list — the consumer
+    cannot tell the difference.
+
+    The stream is single-use and forward-only: ``__iter__``/:meth:`fetch`
+    consume it, :meth:`materialize` drains the remainder into an ordinary
+    :class:`QueryResult`.  ``close()`` releases the producer early (e.g. an
+    open DBMS cursor); iterating a closed stream raises.
+    """
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: Iterable[tuple],
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.columns = list(columns)
+        self._rows = iter(rows)
+        self._on_close = on_close
+        self._closed = False
+        self._exhausted = False
+        #: rows handed out so far (drives the cursor's ``rowcount``)
+        self.rows_produced = 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Yield the remaining rows, consuming the stream."""
+        while True:
+            row = self.fetch()
+            if row is None:
+                return
+            yield row
+
+    def fetch(self) -> Optional[tuple]:
+        """The next row, or ``None`` when the stream is exhausted."""
+        if self._exhausted:
+            return None
+        if self._closed:
+            raise ExecutionError("this row stream is closed")
+        try:
+            row = next(self._rows)
+        except StopIteration:
+            self._exhausted = True
+            self.close()
+            return None
+        self.rows_produced += 1
+        return row
+
+    def fetchmany(self, size: int) -> list[tuple]:
+        """Up to ``size`` further rows (fewer only near exhaustion)."""
+        batch: list[tuple] = []
+        for _ in range(size):
+            row = self.fetch()
+            if row is None:
+                break
+            batch.append(row)
+        return batch
+
+    def materialize(self) -> QueryResult:
+        """Drain the remaining rows into a :class:`QueryResult`."""
+        return QueryResult(columns=self.columns, rows=list(self))
+
+    def close(self) -> None:
+        """Release the producing resources; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._rows = iter(())
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback()
+
+    def __repr__(self) -> str:
+        """Concise summary (never consumes rows)."""
+        state = "closed" if self._closed else "open"
+        return (
+            f"RowStream(columns={self.columns!r}, produced={self.rows_produced}, "
+            f"{state})"
+        )
 
 
 @dataclass

@@ -2,7 +2,19 @@
 
 from . import ast
 from .lexer import Token, TokenType, tokenize
-from .parser import parse_expression, parse_query, parse_statement, parse_statements
+from .params import (
+    ParameterSlot,
+    bind_parameters,
+    resolve_parameters,
+    statement_parameters,
+)
+from .parser import (
+    parse_expression,
+    parse_query,
+    parse_statement,
+    parse_statements,
+    parse_submitted_statement,
+)
 from .printer import to_sql
 from .types import Date, Interval, IntervalUnit, SQLType
 
@@ -11,10 +23,15 @@ __all__ = [
     "Token",
     "TokenType",
     "tokenize",
+    "ParameterSlot",
+    "bind_parameters",
+    "resolve_parameters",
+    "statement_parameters",
     "parse_expression",
     "parse_query",
     "parse_statement",
     "parse_statements",
+    "parse_submitted_statement",
     "to_sql",
     "Date",
     "Interval",

@@ -45,6 +45,23 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class Parameter(Expression):
+    """A bind-parameter placeholder: positional ``?``/``?NNN`` or named ``:name``.
+
+    ``index`` is the 1-based slot the value binds to (assigned in first-use
+    order by the parser; explicit ``?NNN`` pins it).  Named parameters share
+    one slot per name, so ``:low`` appearing twice binds one value.  The
+    whole compilation pipeline treats a parameter as an opaque scalar; values
+    are bound at execute time — natively on backends whose DBMS supports
+    numbered placeholders, by literal substitution elsewhere (see
+    :mod:`repro.sql.params`).
+    """
+
+    index: int
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Column(Expression):
     """A (possibly qualified) column reference such as ``E1.E_salary``."""
 

@@ -75,6 +75,15 @@ class Dialect:
         match = _PARAMETER.match(name)
         return int(match.group(1)) if match else None
 
+    def render_parameter(self, index: int, name: Optional[str] = None) -> str:
+        """How a bind-parameter slot is spelled in statement text.
+
+        The default dialect keeps the client-facing spelling — ``:name`` for
+        named parameters, numbered ``?N`` for positional ones (unambiguous
+        and round-trippable through the parser, unlike a bare ``?``).
+        """
+        return f":{name}" if name else f"?{index}"
+
     # -- literals ------------------------------------------------------------
 
     def format_literal(self, value: Any) -> str:
@@ -187,6 +196,15 @@ class SQLiteDialect(Dialect):
 
     def placeholder(self, index: int) -> str:
         """SQLite's numbered ``?NNN`` parameter style."""
+        return f"?{index}"
+
+    def render_parameter(self, index: int, name: Optional[str] = None) -> str:
+        """Bind parameters pass through natively as ``?NNN``.
+
+        Named parameters are rendered by slot number too: the backend binds a
+        positional value vector, so ``:name`` must not reach SQLite (its
+        named style expects a mapping).
+        """
         return f"?{index}"
 
     def format_boolean(self, value: bool) -> str:

@@ -19,6 +19,7 @@ class TokenType(Enum):
     NUMBER = "NUMBER"
     STRING = "STRING"
     PARAM = "PARAM"  # $1, $2 ... inside SQL function bodies
+    PLACEHOLDER = "PLACEHOLDER"  # bind parameters: ?, ?3, :name
     OPERATOR = "OPERATOR"
     PUNCT = "PUNCT"  # ( ) , ; .
     EOF = "EOF"
@@ -93,6 +94,22 @@ def tokenize(text: str) -> list[Token]:
         ):
             token, index = _lex_number(text, index)
             tokens.append(token)
+            continue
+        if char == "?":
+            start = index
+            index += 1
+            while index < length and text[index].isdigit():
+                index += 1
+            tokens.append(Token(TokenType.PLACEHOLDER, text[start:index], start))
+            continue
+        if char == ":" and index + 1 < length and (
+            text[index + 1].isalpha() or text[index + 1] == "_"
+        ):
+            start = index
+            index += 1
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            tokens.append(Token(TokenType.PLACEHOLDER, text[start:index], start))
             continue
         if char == "$" and index + 1 < length and text[index + 1].isdigit():
             start = index

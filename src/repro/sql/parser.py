@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import ParseError
+from ..errors import InvalidStatementError, LexerError, ParseError
 from . import ast
 from .lexer import Token, TokenType, tokenize
 from .types import Date, Interval, IntervalUnit
@@ -86,6 +86,24 @@ def parse_statements(sql: str) -> list[ast.Statement]:
     return statements
 
 
+def parse_submitted_statement(sql: str) -> ast.Statement:
+    """Parse client-submitted SQL, normalizing failures onto one error type.
+
+    Statement-accepting entry points (the MTBase client, gateway sessions,
+    the DB-API cursor) call this instead of :func:`parse_statement` so that
+    unparsable SQL always surfaces as an
+    :class:`~repro.errors.InvalidStatementError` carrying the offending
+    statement fragment — regardless of whether the lexer or the parser
+    rejected it.
+    """
+    try:
+        return parse_statement(sql)
+    except InvalidStatementError:
+        raise
+    except (LexerError, ParseError) as exc:
+        raise InvalidStatementError.from_sql(sql, exc) from exc
+
+
 def parse_query(sql: str) -> ast.Select:
     """Parse SQL text that must be a SELECT query."""
     statement = parse_statement(sql)
@@ -109,6 +127,10 @@ class Parser:
         self._sql = sql
         self._tokens = tokenize(sql)
         self._index = 0
+        # bind-parameter slot assignment: `?` takes the next free index
+        # (SQLite's rule), `?NNN` pins one, `:name` shares one slot per name
+        self._param_max_index = 0
+        self._param_names: dict[str, int] = {}
 
     # -- token helpers ------------------------------------------------------
 
@@ -203,6 +225,10 @@ class Parser:
     # -- statements ---------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
+        # bind-parameter slots are per statement: a ';'-separated script must
+        # not leak slot indexes from one statement into the next
+        self._param_max_index = 0
+        self._param_names = {}
         token = self._peek()
         if token.type is not TokenType.IDENT:
             raise ParseError(f"expected a statement, got {token.text!r}", token.position)
@@ -452,6 +478,9 @@ class Parser:
         if token.type is TokenType.PARAM:
             self._advance()
             return ast.Column(name=token.text)
+        if token.type is TokenType.PLACEHOLDER:
+            self._advance()
+            return self._make_parameter(token)
         if token.type is TokenType.PUNCT and token.text == "(":
             self._advance()
             if self.peek_keyword("SELECT"):
@@ -566,6 +595,27 @@ class Parser:
             else_result = self.parse_expr()
         self.expect_keyword("END")
         return ast.Case(whens=tuple(whens), else_result=else_result)
+
+    def _make_parameter(self, token: Token) -> ast.Parameter:
+        text = token.text
+        if text.startswith(":"):
+            name = text[1:]
+            index = self._param_names.get(name)
+            if index is None:
+                self._param_max_index += 1
+                index = self._param_max_index
+                self._param_names[name] = index
+            return ast.Parameter(index=index, name=name)
+        if len(text) > 1:  # explicit ?NNN
+            index = int(text[1:])
+            if index < 1:
+                raise ParseError(
+                    f"parameter index must be positive, got {text!r}", token.position
+                )
+            self._param_max_index = max(self._param_max_index, index)
+            return ast.Parameter(index=index)
+        self._param_max_index += 1
+        return ast.Parameter(index=self._param_max_index)
 
     def _is_punct(self, offset: int, punct: str) -> bool:
         token = self._peek(offset)

@@ -30,8 +30,8 @@ def format_literal(value: Any) -> str:
 
 
 #: expression types that never need parentheses as an operand
-_NO_PARENS = (ast.Literal, ast.Column, ast.FunctionCall, ast.Star, ast.ScalarSubquery,
-              ast.Extract, ast.Substring, ast.Case)
+_NO_PARENS = (ast.Literal, ast.Column, ast.Parameter, ast.FunctionCall, ast.Star,
+              ast.ScalarSubquery, ast.Extract, ast.Substring, ast.Case)
 
 
 class SqlPrinter:
@@ -68,6 +68,9 @@ class SqlPrinter:
             if index is not None:
                 return self.dialect.placeholder(index)
         return self.dialect.qualified_identifier(node.name, node.table)
+
+    def _parameter(self, node: ast.Parameter) -> str:
+        return self.dialect.render_parameter(node.index, node.name)
 
     def _star(self, node: ast.Star) -> str:
         return f"{self._ident(node.table)}.*" if node.table else "*"
@@ -295,6 +298,7 @@ class SqlPrinter:
 _PRINTERS = {
     ast.Literal: SqlPrinter._literal,
     ast.Column: SqlPrinter._column,
+    ast.Parameter: SqlPrinter._parameter,
     ast.Star: SqlPrinter._star,
     ast.FunctionCall: SqlPrinter._function_call,
     ast.BinaryOp: SqlPrinter._binary_op,

@@ -50,7 +50,7 @@ def transform_expression(
     def recurse(child: Optional[ast.Expression]) -> Optional[ast.Expression]:
         return transform_expression(child, fn, descend_subqueries)
 
-    if isinstance(expr, (ast.Literal, ast.Column, ast.Star)):
+    if isinstance(expr, (ast.Literal, ast.Column, ast.Star, ast.Parameter)):
         return expr
     if isinstance(expr, ast.FunctionCall):
         return replace(expr, args=tuple(recurse(argument) for argument in expr.args))

@@ -1,0 +1,35 @@
+"""Fixtures for the DB-API suite: shared MT-H instances per backend family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SQLiteBackend
+from repro.mth.loader import load_mth
+
+TENANTS = 4
+
+
+@pytest.fixture(scope="package")
+def tiny_mth_engine(tiny_tpch_data):
+    """MT-H on the in-memory engine (package-shared, read-only)."""
+    return load_mth(data=tiny_tpch_data, tenants=TENANTS, distribution="uniform")
+
+
+@pytest.fixture(scope="package")
+def tiny_mth_sqlite(tiny_tpch_data):
+    """The same MT-H data on a real DBMS (SQLite)."""
+    factory = SQLiteBackend()
+    instance = load_mth(
+        data=tiny_tpch_data, tenants=TENANTS, distribution="uniform", backend=factory
+    )
+    yield instance
+    factory.close()
+
+
+@pytest.fixture(scope="package")
+def tiny_mth_sharded(tiny_tpch_data):
+    """The same MT-H data on a 2-shard tenant-partitioned engine cluster."""
+    return load_mth(
+        data=tiny_tpch_data, tenants=TENANTS, distribution="uniform", shards=2
+    )

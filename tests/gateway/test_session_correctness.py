@@ -60,7 +60,7 @@ def test_warm_path_skips_parse_entirely(mt, monkeypatch):
         parses.append(text)
         raise AssertionError("warm path must not parse")
 
-    monkeypatch.setattr(session_module, "parse_statement", counting_parse)
+    monkeypatch.setattr(session_module, "parse_submitted_statement", counting_parse)
     assert session.query(sql).rows == cold
     assert parses == []
     gateway.close()

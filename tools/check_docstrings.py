@@ -29,6 +29,9 @@ SRC = REPO_ROOT / "src"
 PUBLIC_MODULES = (
     "repro/result.py",
     "repro/errors.py",
+    "repro/api/__init__.py",
+    "repro/api/connection.py",
+    "repro/api/cursor.py",
     "repro/backends/__init__.py",
     "repro/backends/base.py",
     "repro/backends/engine.py",
@@ -57,6 +60,7 @@ PUBLIC_MODULES = (
     "repro/bench/workload.py",
     "repro/bench/sharding.py",
     "repro/sql/dialect.py",
+    "repro/sql/params.py",
     "repro/sql/transform.py",
 )
 
