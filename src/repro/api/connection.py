@@ -24,6 +24,7 @@ is already durable would be a correctness trap.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Optional, Union
@@ -249,6 +250,9 @@ def connect(
     * an existing :class:`~repro.gateway.session.GatewaySession` or
       :class:`~repro.core.client.MTConnection` — wrapped as-is (``scope``
       applies, ``client``/``optimization`` must be unset),
+    * a ``"server://host:port"`` spec — a network session against a
+      :class:`~repro.server.ReproServer` for tenant ``client`` (required);
+      the same prepared-statement/cursor surface, over the wire,
     * a :class:`~repro.backends.Backend`, a
       :class:`~repro.backends.BackendConnection` or a backend spec string
       (``"engine"``, ``"sqlite"``, ``"sharded:2"``) — plain SQL without the
@@ -258,6 +262,12 @@ def connect(
     ``optimization`` and ``scope`` mean the same as on
     ``MTBase.connect``/``QueryGateway.session``; ``profile`` only applies
     when a backend is created from a spec string.
+
+    When the ``REPRO_API_VIA_SERVER`` environment variable is truthy,
+    middleware and gateway targets are transparently fronted by an
+    in-process loopback :class:`~repro.server.ReproServer` — the connection
+    then runs over a real TCP socket and the frame protocol with identical
+    semantics (see :mod:`repro.server.loopback`).
     """
     from ..core.client import MTConnection as _MTConnection
     from ..core.middleware import MTBase as _MTBase
@@ -267,15 +277,29 @@ def connect(
     if isinstance(target, _QueryGateway):
         if client is None:
             raise BackendError("connect(gateway) requires a client tenant id")
+        if _via_loopback_server():
+            return _server_connection(target, client, optimization, scope)
         session = target.session(client, optimization=optimization, scope=scope)
         return Connection(_GatewayTarget(session, owned=True))
     if isinstance(target, _MTBase):
         if client is None:
             raise BackendError("connect(middleware) requires a client tenant id")
+        if _via_loopback_server():
+            return _server_connection(target, client, optimization, scope)
         connection = target.connect(client, optimization=optimization)
         if scope is not None:
             connection.set_scope(scope)
         return Connection(_MTConnectionTarget(connection))
+    if isinstance(target, str) and target.startswith("server://"):
+        if client is None:
+            raise BackendError("connect(server://...) requires a client tenant id")
+        host, port = _parse_server_spec(target)
+        from ..server.client import SyncSession
+
+        session = SyncSession(
+            host, port, client, scope=scope, optimization=optimization
+        )
+        return Connection(_GatewayTarget(session, owned=True))
     if isinstance(target, _GatewaySession):
         _reject_routing_args("an existing gateway session", client, optimization)
         if scope is not None:
@@ -303,6 +327,46 @@ def connect(
         f"QueryGateway, GatewaySession, MTConnection, Backend(Connection) or a "
         f"backend spec string"
     )
+
+
+def _via_loopback_server() -> bool:
+    """Whether ``REPRO_API_VIA_SERVER`` reroutes through a loopback server."""
+    if not os.environ.get("REPRO_API_VIA_SERVER", "").strip():
+        return False  # the common case stays import-free
+    from ..server.loopback import loopback_enabled
+
+    return loopback_enabled()
+
+
+def _server_connection(target, client, optimization, scope) -> Connection:
+    """Front ``target`` with its loopback server and connect through it."""
+    from ..server.client import SyncSession
+    from ..server.loopback import ensure_loopback
+
+    host, port = ensure_loopback(target)
+    session = SyncSession(host, port, client, scope=scope, optimization=optimization)
+    return Connection(_GatewayTarget(session, owned=True))
+
+
+def _parse_server_spec(spec: str) -> tuple[str, int]:
+    """Split ``server://host:port`` into its address pair (strictly)."""
+    address = spec[len("server://"):]
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise BackendError(
+            f"malformed server spec {spec!r}; expected server://host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise BackendError(
+            f"malformed server spec {spec!r}: {port_text!r} is not a port"
+        ) from None
+    if not 0 < port <= 65535:
+        raise BackendError(
+            f"malformed server spec {spec!r}: port must be 1-65535"
+        )
+    return host, port
 
 
 def _reject_routing_args(label: str, client, optimization, scope=None) -> None:

@@ -101,6 +101,49 @@ class ConfigurationError(ReproError):
     """Raised when an environment/configuration value cannot be interpreted."""
 
 
+class ServerError(ReproError):
+    """Base class for errors raised by the network serving tier.
+
+    ``retryable`` tells a client whether re-submitting the same request later
+    can succeed (load shedding, timeouts) or whether the request itself is at
+    fault; the wire protocol carries the flag in every error frame.
+    """
+
+    #: whether re-submitting the identical request later may succeed
+    retryable = False
+
+
+class ProtocolError(ServerError):
+    """Raised when a wire frame is malformed, oversized or out of order.
+
+    A protocol violation means the two ends disagree about the byte stream,
+    so the server closes the connection after sending this error — unlike
+    every other error frame, which leaves the connection usable.
+    """
+
+
+class ServerBusyError(ServerError):
+    """Raised when admission control sheds a request (``SERVER_BUSY``).
+
+    The tenant's bounded queue is full; the request was rejected *before*
+    consuming backend resources, so retrying after a backoff is safe and is
+    exactly what the client is expected to do (``retryable`` is true).
+    """
+
+    retryable = True
+
+
+class RequestTimeoutError(ServerError):
+    """Raised when a request exceeds the server's per-request timeout.
+
+    The client gets this frame as soon as the deadline passes; the backend
+    work may still be finishing on a worker thread, but its admission slot is
+    only released when it actually completes, so timeouts cannot over-admit.
+    """
+
+    retryable = True
+
+
 class BackendError(ReproError):
     """Raised when an execution backend is misused or cannot perform a request."""
 

@@ -21,7 +21,14 @@ from .cache import CacheKey, CachedPlan, CacheStats, RewriteCache, StatementInfo
 from .executor import ConcurrentExecutor, ExecutionReport, SessionBatch, StatementOutcome
 from .fingerprint import Fingerprint, fingerprint_statement
 from .gateway import QueryGateway
-from .metrics import LatencyRecorder, LatencySummary, percentile, summarize
+from .metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    LoadGauge,
+    LoadSnapshot,
+    percentile,
+    summarize,
+)
 from .session import GatewaySession, PreparedStatement, SessionStats
 
 __all__ = [
@@ -42,6 +49,8 @@ __all__ = [
     "fingerprint_statement",
     "LatencyRecorder",
     "LatencySummary",
+    "LoadGauge",
+    "LoadSnapshot",
     "percentile",
     "summarize",
 ]

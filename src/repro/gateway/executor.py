@@ -19,7 +19,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from .metrics import LatencyRecorder, LatencySummary, summarize
+from .metrics import LatencyRecorder, LatencySummary, LoadGauge, LoadSnapshot, summarize
 from .session import GatewaySession
 
 #: one unit of work: a session plus the statements it should run, in order
@@ -49,6 +49,12 @@ class ExecutionReport:
     outcomes: list[StatementOutcome] = field(default_factory=list)
     elapsed: float = 0.0
     latency: LatencySummary = field(default_factory=lambda: summarize([]))
+    #: final gauge reading of the run — the peaks are the interesting part:
+    #: peak in-flight is the concurrency actually reached, peak queued the
+    #: deepest backlog of batches waiting for a worker
+    load: LoadSnapshot = field(
+        default_factory=lambda: LoadGauge().snapshot()
+    )
 
     @property
     def statements(self) -> int:
@@ -74,7 +80,7 @@ class ExecutionReport:
         return (
             f"{self.statements} statements in {self.elapsed:.3f}s "
             f"({self.throughput:.1f} stmt/s; {self.latency.describe()}; "
-            f"{len(self.errors)} errors)"
+            f"{self.load.describe()}; {len(self.errors)} errors)"
         )
 
 
@@ -93,18 +99,26 @@ class ConcurrentExecutor:
         if not batches:
             return ExecutionReport()
         recorder = LatencyRecorder()
+        gauge = LoadGauge()
         workers = self.max_workers or min(8, len(batches))
         started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self._run_batch, session, list(statements), recorder)
-                for session, statements in batches
-            ]
+            futures = []
+            for session, statements in batches:
+                gauge.enqueue()  # queued until a worker picks the batch up
+                futures.append(
+                    pool.submit(
+                        self._run_batch, session, list(statements), recorder, gauge
+                    )
+                )
             outcome_lists = [future.result() for future in futures]
         elapsed = time.perf_counter() - started
         outcomes = [outcome for outcomes in outcome_lists for outcome in outcomes]
         return ExecutionReport(
-            outcomes=outcomes, elapsed=elapsed, latency=summarize(recorder.values())
+            outcomes=outcomes,
+            elapsed=elapsed,
+            latency=summarize(recorder.values()),
+            load=gauge.snapshot(),
         )
 
     @staticmethod
@@ -112,9 +126,12 @@ class ConcurrentExecutor:
         session: GatewaySession,
         statements: list[Union[str, int]],
         recorder: LatencyRecorder,
+        gauge: LoadGauge,
     ) -> list[StatementOutcome]:
+        gauge.dequeue()
         outcomes: list[StatementOutcome] = []
         for statement in statements:
+            gauge.enter()
             began = time.perf_counter()
             try:
                 result = session.execute(statement)
@@ -122,6 +139,7 @@ class ConcurrentExecutor:
             except Exception as exc:  # noqa: BLE001 - reported per statement
                 result, error = None, exc
             latency = time.perf_counter() - began
+            gauge.exit()
             recorder.record(latency)
             outcomes.append(
                 StatementOutcome(

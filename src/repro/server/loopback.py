@@ -1,0 +1,78 @@
+"""Transparent loopback serving: run the api suite over a real socket.
+
+When the ``REPRO_API_VIA_SERVER`` environment variable is truthy,
+``repro.api.connect`` routes middleware/gateway targets through an
+**in-process loopback server**: a real :class:`~repro.server.ReproServer`
+bound to ``127.0.0.1`` on an ephemeral port, one per distinct target object,
+started lazily on first use.  The DB-API connection then runs over an actual
+TCP socket and the full frame protocol — the same code path a remote client
+exercises — while the test (or program) keeps calling
+``connect(middleware, client=...)`` exactly as before.
+
+This is how CI runs the unchanged ``tests/api`` suite through the network
+tier: ``REPRO_API_VIA_SERVER=1 pytest tests/api``.
+
+The registry pins its targets: a loopback server (and the middleware it
+fronts) lives until :func:`shutdown_loopbacks` or interpreter exit — the
+right lifetime for the fixture-shaped objects this mode serves, and one
+server per *distinct target object* bounds the population.  Server loops
+are daemon threads, so they never block exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from typing import Optional
+
+from .server import ReproServer
+
+_lock = threading.Lock()
+#: id(target) -> (the target itself, its loopback server); holding the
+#: target strongly both keeps the id stable and pins the serving stack
+_servers: dict[int, tuple[object, ReproServer]] = {}
+
+TRUTHY = {"1", "true", "yes", "on"}
+
+
+def loopback_enabled() -> bool:
+    """Whether ``REPRO_API_VIA_SERVER`` asks for loopback network serving."""
+    return os.environ.get("REPRO_API_VIA_SERVER", "").strip().lower() in TRUTHY
+
+
+def ensure_loopback(target) -> tuple[str, int]:
+    """The ``(host, port)`` of the loopback server fronting ``target``.
+
+    ``target`` is an ``MTBase`` or ``QueryGateway``; the first call for a
+    given object boots a server, later calls reuse it.  Identity is by
+    object (two gateways over one middleware get two servers — matching the
+    two in-process serving stacks they are).
+    """
+    with _lock:
+        entry = _servers.get(id(target))
+        if entry is not None:
+            return entry[1].address
+        server = ReproServer(target, host="127.0.0.1", port=0)
+        server.start()
+        _servers[id(target)] = (target, server)
+        return server.address
+
+
+def loopback_server(target) -> Optional[ReproServer]:
+    """The live loopback server fronting ``target``, or ``None``."""
+    with _lock:
+        entry = _servers.get(id(target))
+        return entry[1] if entry is not None else None
+
+
+def shutdown_loopbacks() -> None:
+    """Stop every loopback server (test teardown / embedder cleanup)."""
+    with _lock:
+        entries = list(_servers.values())
+        _servers.clear()
+    for _target, server in entries:
+        server.stop()
+
+
+atexit.register(shutdown_loopbacks)

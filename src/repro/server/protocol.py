@@ -1,0 +1,253 @@
+"""The wire protocol of the serving tier: framing, value codec, error codes.
+
+Every message is one **frame**: a 4-byte big-endian payload length followed
+by a UTF-8 JSON object.  Requests carry an ``op`` field (HELLO, PREPARE,
+EXECUTE, FETCH, EXPLAIN, CLOSE_CURSOR, CLOSE); responses either repeat the
+request's shape with ``ok: true`` or are **error frames**::
+
+    {"ok": false, "error": "SERVER_BUSY", "message": "...", "retryable": true}
+
+``error`` is a stable wire code mapped 1:1 onto the :mod:`repro.errors`
+taxonomy (:data:`WIRE_CODES`), so a client reconstructs the *same* exception
+class the server raised — ``except ParameterError`` works identically on
+both sides of the socket.
+
+Row and bind-parameter values travel JSON-natively except for the two types
+JSON cannot express: :class:`~repro.sql.types.Date` becomes
+``{"$date": days}`` and ``bytes`` becomes ``{"$bytes": hex}`` — both exact
+round-trips, so wire results are value-identical to in-process results.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional
+
+from ..errors import (
+    BackendError,
+    CatalogError,
+    ClusterError,
+    ConfigurationError,
+    ConstraintViolation,
+    ConversionError,
+    ExecutionError,
+    FunctionError,
+    InvalidStatementError,
+    LexerError,
+    MTSQLError,
+    NotSupportedError,
+    ParameterError,
+    ParseError,
+    PrivilegeError,
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+    RewriteError,
+    ScopeError,
+    ServerBusyError,
+    ServerError,
+    SQLError,
+    TypeMismatchError,
+)
+from ..sql.types import Date
+
+#: protocol revision negotiated in HELLO; bumped on incompatible changes
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame's payload (a malformed length prefix must not
+#: make either end allocate gigabytes)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: wire code -> exception class; the *server-side* taxonomy a client can see.
+#: Order matters for encoding: the first entry whose class matches (exact
+#: type, then subclass walk) wins, so specific codes precede their bases.
+WIRE_CODES: dict[str, type] = {
+    "SERVER_BUSY": ServerBusyError,
+    "REQUEST_TIMEOUT": RequestTimeoutError,
+    "PROTOCOL": ProtocolError,
+    "SERVER": ServerError,
+    "INVALID_STATEMENT": InvalidStatementError,
+    "PARSE": ParseError,
+    "LEXER": LexerError,
+    "PARAMETER": ParameterError,
+    "CATALOG": CatalogError,
+    "TYPE_MISMATCH": TypeMismatchError,
+    "CONSTRAINT": ConstraintViolation,
+    "FUNCTION": FunctionError,
+    "EXECUTION": ExecutionError,
+    "NOT_SUPPORTED": NotSupportedError,
+    "SCOPE": ScopeError,
+    "PRIVILEGE": PrivilegeError,
+    "REWRITE": RewriteError,
+    "CONVERSION": ConversionError,
+    "MTSQL": MTSQLError,
+    "CLUSTER": ClusterError,
+    "BACKEND": BackendError,
+    "CONFIGURATION": ConfigurationError,
+    "SQL": SQLError,
+    "REPRO": ReproError,
+}
+
+_CLASS_TO_CODE = {cls: code for code, cls in WIRE_CODES.items()}
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code for an exception (nearest registered ancestor class)."""
+    for cls in type(exc).__mro__:
+        code = _CLASS_TO_CODE.get(cls)
+        if code is not None:
+            return code
+    return "SERVER"
+
+
+def error_frame(exc: BaseException) -> dict[str, Any]:
+    """Build the error frame describing ``exc`` (taxonomy code + retryability)."""
+    return {
+        "ok": False,
+        "error": error_code(exc),
+        "message": str(exc),
+        "retryable": bool(getattr(exc, "retryable", False)),
+    }
+
+
+def exception_from_frame(frame: dict[str, Any]) -> ReproError:
+    """Reconstruct the server's exception from an error frame.
+
+    Unknown codes (a newer server) degrade to :class:`ServerError` rather
+    than failing, keeping old clients usable against new servers.
+    """
+    cls = WIRE_CODES.get(str(frame.get("error", "")), ServerError)
+    message = str(frame.get("message", "server error"))
+    try:
+        exc = cls(message)
+    except TypeError:  # pragma: no cover - all registered classes accept one arg
+        exc = ServerError(message)
+    return exc
+
+
+# -- value codec -------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one cell/bind value into its JSON-representable form."""
+    if isinstance(value, Date):
+        return {"$date": value.days}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": bytes(value).hex()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_value(item) for key, item in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` (lists stay lists; rows re-tuple upstream)."""
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return Date(int(value["$date"]))
+        if set(value) == {"$bytes"}:
+            return bytes.fromhex(value["$bytes"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def encode_rows(rows: list[tuple]) -> list[list[Any]]:
+    """Encode a row batch for a FETCH response frame."""
+    return [[encode_value(value) for value in row] for row in rows]
+
+
+def decode_rows(rows: list[list[Any]]) -> list[tuple]:
+    """Decode a FETCH response frame's row batch back into row tuples."""
+    return [tuple(decode_value(value) for value in row) for row in rows]
+
+
+def encode_parameters(parameters: Any) -> Any:
+    """Encode bind parameters (positional sequence or name mapping) or None."""
+    if parameters is None:
+        return None
+    return encode_value(parameters)
+
+
+def decode_parameters(parameters: Any) -> Any:
+    """Decode bind parameters; positional bindings come back as a tuple."""
+    if parameters is None:
+        return None
+    decoded = decode_value(parameters)
+    if isinstance(decoded, list):
+        return tuple(decoded)
+    return decoded
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse one frame payload; anything but a JSON object is a violation."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def payload_length(prefix: bytes) -> int:
+    """Validate a 4-byte length prefix and return the payload length."""
+    if len(prefix) != _LENGTH.size:
+        raise ProtocolError("truncated frame length prefix")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+async def read_frame(reader) -> Optional[dict[str, Any]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    length = payload_length(prefix)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(payload)
+
+
+def read_frame_blocking(stream) -> Optional[dict[str, Any]]:
+    """Read one frame from a blocking binary file object; ``None`` on EOF."""
+    prefix = stream.read(_LENGTH.size)
+    if not prefix:
+        return None
+    length = payload_length(prefix)
+    payload = stream.read(length)
+    if payload is None or len(payload) != length:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)

@@ -129,3 +129,38 @@ def test_gateway_context_manager_detaches_listener(mt):
         assert len(gateway.cache) == 1
     mt.execute_ddl("CREATE TABLE Scratch GLOBAL (S_id INTEGER NOT NULL)")
     assert gateway.cache_stats.invalidations == 0
+
+
+def test_report_tracks_load_and_tail_latency(mt):
+    """The run report carries the load gauge and the p99 tail percentile."""
+    gateway = mt.gateway()
+    batches = [
+        (gateway.session(client, optimization="o4", scope="IN (0, 1)"),
+         [SQL_BY_NAME] * 3)
+        for client in (0, 1, 0, 1)
+    ]
+    report = gateway.run_concurrent(batches)
+    assert report.load.peak_in_flight >= 1
+    assert report.load.in_flight == 0 and report.load.queued == 0  # run drained
+    assert report.load.peak_queued >= 0
+    assert report.latency.p99 >= report.latency.p95 >= report.latency.p50
+    described = report.describe()
+    assert "in-flight" in described and "queued" in described
+    assert "p99" in described
+    gateway.close()
+
+
+def test_load_gauge_counts_and_peaks():
+    from repro.gateway import LoadGauge
+
+    gauge = LoadGauge()
+    gauge.enqueue()
+    gauge.enqueue()
+    gauge.dequeue()
+    gauge.enter()
+    gauge.enter()
+    gauge.exit()
+    snapshot = gauge.snapshot()
+    assert (snapshot.queued, snapshot.peak_queued) == (1, 2)
+    assert (snapshot.in_flight, snapshot.peak_in_flight) == (1, 2)
+    assert "peak 2" in snapshot.describe()

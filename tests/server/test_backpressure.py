@@ -1,0 +1,226 @@
+"""Backpressure: load shedding, bounded queues, timeouts, no hung clients.
+
+Every scenario here drives a deliberately tiny admission configuration and
+asserts the two properties the serving tier promises under overload:
+
+* an over-admitted request gets a **structured, retryable answer**
+  (``SERVER_BUSY`` or ``REQUEST_TIMEOUT``) — never a hung connection and
+  never a dropped frame, and
+* a slow consumer throttles only *its own tenant's* admission — open result
+  streams keep their rows intact and in order throughout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import RequestTimeoutError, ServerBusyError
+from repro.server import ReproServer, ServerConfig
+from repro.server.client import AsyncSession, SyncSession
+
+from tests.conftest import build_paper_example
+
+SQL = "SELECT E_name, E_salary FROM Employees ORDER BY E_name"
+
+
+@pytest.fixture
+def mt():
+    return build_paper_example()
+
+
+def make_server(mt, **overrides) -> ReproServer:
+    defaults = dict(concurrency=1, queue_depth=0, request_timeout=5.0,
+                    drain_timeout=2.0, workers=4)
+    defaults.update(overrides)
+    return ReproServer(mt, config=ServerConfig(**defaults))
+
+
+async def open_session(server, client=0):
+    host, port = server.address
+    return await AsyncSession.open(
+        host, port, client=client, scope="IN (0, 1)", optimization="o4"
+    )
+
+
+def test_slow_consumer_sheds_its_own_tenant(mt):
+    """An open cursor pins the slot; the next request sheds with SERVER_BUSY."""
+    server = make_server(mt, concurrency=1, queue_depth=0).start()
+
+    async def main():
+        holder = await open_session(server)
+        other = await open_session(server)
+        reply = await holder.begin_execute(SQL)
+        rows, eof = await holder.fetch(reply["cursor"], 1)
+        assert len(rows) == 1 and not eof  # cursor open: slot pinned
+        with pytest.raises(ServerBusyError) as shed:
+            await other.begin_execute(SQL)
+        assert shed.value.retryable is True
+        # the shed connection is NOT hung: the very same session retries
+        # successfully once the slow consumer finishes its stream
+        rest, eof = await holder.fetch(reply["cursor"], 100)
+        assert eof and len(rest) == 5
+        retried = await other.execute(SQL)
+        assert len(retried.rows) == 6
+        await holder.close()
+        await other.close()
+
+    try:
+        asyncio.run(main())
+    finally:
+        server.stop()
+    snapshot = server.admission_snapshot()
+    assert snapshot.shed >= 1 and snapshot.admitted >= 2
+
+
+def test_other_tenants_are_not_throttled_by_a_slow_consumer(mt):
+    """Admission gates are per tenant: tenant 1 proceeds while 0 is pinned."""
+    server = make_server(mt, concurrency=1, queue_depth=0).start()
+
+    async def main():
+        slow = await open_session(server, client=0)
+        reply = await slow.begin_execute(SQL)
+        await slow.fetch(reply["cursor"], 1)  # pin tenant 0's only slot
+        bystander = await open_session(server, client=1)
+        result = await bystander.execute(SQL)
+        assert len(result.rows) == 6
+        await slow.close_cursor(reply["cursor"])
+        await slow.close()
+        await bystander.close()
+
+    try:
+        asyncio.run(main())
+    finally:
+        server.stop()
+    assert server.admission.gate(1).shed == 0
+
+
+def test_admission_burst_sheds_the_overflow_and_no_request_hangs(mt):
+    """N >> capacity concurrent EXECUTEs: every one answers, none hangs."""
+    concurrency, queue_depth, n = 2, 2, 12
+    server = make_server(mt, concurrency=concurrency, queue_depth=queue_depth).start()
+
+    async def one_request():
+        session = await open_session(server)
+        try:
+            result = await session.execute(SQL)
+            assert len(result.rows) == 6
+            return "ok"
+        except ServerBusyError as exc:
+            assert exc.retryable is True
+            # a shed session keeps working: an immediate-ish retry succeeds
+            await asyncio.sleep(0.05)
+            for _ in range(50):
+                try:
+                    retried = await session.execute(SQL)
+                    assert len(retried.rows) == 6
+                    return "shed-then-ok"
+                except ServerBusyError:
+                    await asyncio.sleep(0.05)
+            raise AssertionError("retry never got through")
+        finally:
+            await session.close()
+
+    async def main():
+        outcomes = await asyncio.gather(*(one_request() for _ in range(n)))
+        assert len(outcomes) == n  # every request got a structured answer
+        return outcomes
+
+    try:
+        outcomes = asyncio.run(asyncio.wait_for(main(), timeout=30))
+    finally:
+        server.stop()
+    snapshot = server.admission_snapshot()
+    # retries may shed again before getting through, so shed only bounds below
+    assert snapshot.shed >= outcomes.count("shed-then-ok")
+    assert snapshot.load.peak_in_flight <= concurrency
+    assert snapshot.load.peak_queued <= queue_depth
+
+
+def test_queued_request_times_out_with_a_retryable_frame(mt):
+    """A request stuck in the admission queue answers REQUEST_TIMEOUT."""
+    server = make_server(
+        mt, concurrency=1, queue_depth=4, request_timeout=0.5
+    ).start()
+
+    async def main():
+        holder = await open_session(server)
+        waiter = await open_session(server)
+        reply = await holder.begin_execute(SQL)
+        await holder.fetch(reply["cursor"], 1)  # pin the slot
+        with pytest.raises(RequestTimeoutError) as timed_out:
+            await waiter.begin_execute(SQL)
+        assert timed_out.value.retryable is True
+        # free the slot; the timed-out connection must still be usable
+        await holder.close_cursor(reply["cursor"])
+        result = await waiter.execute(SQL)
+        assert len(result.rows) == 6
+        await holder.close()
+        await waiter.close()
+
+    try:
+        asyncio.run(asyncio.wait_for(main(), timeout=20))
+    finally:
+        server.stop()
+    assert server.timeouts >= 1
+
+
+def test_streams_never_drop_frames_under_concurrent_load(mt):
+    """Rows of an open stream stay intact while other clients hammer."""
+    server = make_server(mt, concurrency=4, queue_depth=8).start()
+    host, port = server.address
+
+    expected = None
+
+    async def main():
+        nonlocal expected
+        reader = await open_session(server)
+        baseline = await reader.execute(SQL)
+        expected = baseline.rows
+        reply = await reader.begin_execute(SQL)
+
+        async def hammer():
+            session = await open_session(server)
+            for _ in range(5):
+                try:
+                    await session.execute(SQL)
+                except ServerBusyError:
+                    await asyncio.sleep(0.01)
+            await session.close()
+
+        hammers = [asyncio.ensure_future(hammer()) for _ in range(6)]
+        collected = []
+        eof = False
+        while not eof:
+            rows, eof = await reader.fetch(reply["cursor"], 2)
+            collected.extend(rows)
+            await asyncio.sleep(0.01)  # interleave with the hammering
+        await asyncio.gather(*hammers)
+        assert collected == expected  # intact, ordered, nothing dropped
+        await reader.close()
+
+    try:
+        asyncio.run(asyncio.wait_for(main(), timeout=30))
+    finally:
+        server.stop()
+
+
+def test_sync_client_surfaces_shedding_identically(mt):
+    """The blocking client sees the same retryable SERVER_BUSY errors."""
+    server = make_server(mt, concurrency=1, queue_depth=0).start()
+    host, port = server.address
+    holder = SyncSession(host, port, client=0, scope="IN (0, 1)", optimization="o4")
+    other = SyncSession(host, port, client=0, scope="IN (0, 1)", optimization="o4")
+    try:
+        stream = holder.execute_incremental(SQL)
+        assert len(stream.fetchmany(1)) == 1  # slot pinned by the open stream
+        with pytest.raises(ServerBusyError) as shed:
+            other.execute(SQL)
+        assert shed.value.retryable is True
+        stream.close()
+        assert len(other.query(SQL).rows) == 6  # connection intact after shed
+    finally:
+        holder.close()
+        other.close()
+        server.stop()

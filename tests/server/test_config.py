@@ -1,0 +1,64 @@
+"""Server configuration: strict REPRO_SERVER_* environment-knob validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.config import ServerConfig
+
+
+def test_defaults_without_environment(monkeypatch):
+    for name in (
+        "REPRO_SERVER_PORT",
+        "REPRO_SERVER_QUEUE_DEPTH",
+        "REPRO_SERVER_CONCURRENCY",
+        "REPRO_SERVER_WORKERS",
+        "REPRO_SERVER_TIMEOUT",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    config = ServerConfig.from_env()
+    assert config.port == 0
+    assert config.queue_depth == 32
+    assert config.concurrency == 8
+    assert config.workers == 8
+    assert config.request_timeout == 30.0
+
+
+def test_environment_knobs_are_honoured(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_PORT", "5433")
+    monkeypatch.setenv("REPRO_SERVER_QUEUE_DEPTH", "4")
+    monkeypatch.setenv("REPRO_SERVER_CONCURRENCY", "2")
+    monkeypatch.setenv("REPRO_SERVER_WORKERS", "3")
+    monkeypatch.setenv("REPRO_SERVER_TIMEOUT", "1.5")
+    config = ServerConfig.from_env()
+    assert (config.port, config.queue_depth, config.concurrency) == (5433, 4, 2)
+    assert (config.workers, config.request_timeout) == (3, 1.5)
+
+
+def test_overrides_win_over_the_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVER_CONCURRENCY", "2")
+    assert ServerConfig.from_env(concurrency=16).concurrency == 16
+
+
+@pytest.mark.parametrize(
+    ("name", "value", "match"),
+    [
+        ("REPRO_SERVER_PORT", "http", "integer"),
+        ("REPRO_SERVER_PORT", "-1", ">= 0"),
+        ("REPRO_SERVER_PORT", "70000", "TCP port"),
+        ("REPRO_SERVER_QUEUE_DEPTH", "many", "integer"),
+        ("REPRO_SERVER_QUEUE_DEPTH", "-3", ">= 0"),
+        ("REPRO_SERVER_CONCURRENCY", "0", ">= 1"),
+        ("REPRO_SERVER_CONCURRENCY", "2.5", "integer"),
+        ("REPRO_SERVER_WORKERS", "0", ">= 1"),
+        ("REPRO_SERVER_TIMEOUT", "soon", "seconds"),
+        ("REPRO_SERVER_TIMEOUT", "0", "positive"),
+        ("REPRO_SERVER_TIMEOUT", "-2", "positive"),
+    ],
+)
+def test_malformed_knobs_raise_configuration_errors(monkeypatch, name, value, match):
+    """A typo in a capacity knob must fail loudly, never silently default."""
+    monkeypatch.setenv(name, value)
+    with pytest.raises(ConfigurationError, match=match):
+        ServerConfig.from_env()

@@ -1,0 +1,148 @@
+"""Wire protocol unit tests: framing, the value codec, error codes."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import (
+    BackendError,
+    ExecutionError,
+    InvalidStatementError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+    ServerBusyError,
+    ServerError,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    WIRE_CODES,
+    decode_parameters,
+    decode_payload,
+    decode_rows,
+    encode_frame,
+    encode_parameters,
+    encode_rows,
+    error_code,
+    error_frame,
+    exception_from_frame,
+    payload_length,
+    read_frame_blocking,
+)
+from repro.sql.types import Date
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip_through_a_byte_stream():
+    messages = [{"op": "hello", "client": 3}, {"ok": True, "rows": [[1, "x"]]}]
+    buffer = io.BytesIO(b"".join(encode_frame(m) for m in messages))
+    assert read_frame_blocking(buffer) == messages[0]
+    assert read_frame_blocking(buffer) == messages[1]
+    assert read_frame_blocking(buffer) is None  # clean EOF
+
+
+def test_truncated_frame_is_a_protocol_error():
+    frame = encode_frame({"op": "hello"})
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        read_frame_blocking(io.BytesIO(frame[:-2]))
+
+
+def test_oversized_length_prefix_is_rejected_without_allocating():
+    prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        payload_length(prefix)
+
+
+def test_oversized_outgoing_frame_is_rejected():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_non_object_payload_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_payload(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_payload(b"{nope")
+
+
+# ---------------------------------------------------------------------------
+# value codec
+# ---------------------------------------------------------------------------
+
+
+def test_rows_round_trip_exactly_including_dates_and_bytes():
+    rows = [
+        (1, "name", 2.5, None, True),
+        (Date(9131), b"\x00\xffbinary", -0.1),
+    ]
+    decoded = decode_rows(encode_rows(rows))
+    assert decoded == rows
+    assert isinstance(decoded[1][0], Date)
+    assert isinstance(decoded[1][1], bytes)
+
+
+def test_floats_round_trip_bit_exactly():
+    values = [0.1, 1e-300, 123456.789012345, float(2**53)]
+    (decoded,) = decode_rows(encode_rows([tuple(values)]))
+    assert list(decoded) == values
+
+
+def test_positional_parameters_come_back_as_a_tuple():
+    assert decode_parameters(encode_parameters((1, "a", Date(10)))) == (1, "a", Date(10))
+    assert isinstance(decode_parameters(encode_parameters([1, 2])), tuple)
+
+
+def test_named_parameters_round_trip_as_a_mapping():
+    bound = {"low": 5, "day": Date(42), "blob": b"\x01"}
+    assert decode_parameters(encode_parameters(bound)) == bound
+    assert decode_parameters(encode_parameters(None)) is None
+
+
+# ---------------------------------------------------------------------------
+# error taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_error_codes_pick_the_most_specific_class():
+    assert error_code(ServerBusyError("x")) == "SERVER_BUSY"
+    assert error_code(RequestTimeoutError("x")) == "REQUEST_TIMEOUT"
+    assert error_code(ParameterError("x")) == "PARAMETER"
+    assert error_code(InvalidStatementError("x")) == "INVALID_STATEMENT"
+    assert error_code(ReproError("x")) == "REPRO"
+    # an unregistered subclass maps to its nearest registered ancestor
+    class CustomExecution(ExecutionError):
+        pass
+
+    assert error_code(CustomExecution("x")) == "EXECUTION"
+    assert error_code(ValueError("x")) == "SERVER"
+
+
+def test_error_frames_reconstruct_the_same_exception_class():
+    for code, cls in WIRE_CODES.items():
+        frame = error_frame(cls("the message"))
+        assert frame["ok"] is False
+        assert frame["error"] == code
+        rebuilt = exception_from_frame(frame)
+        assert type(rebuilt) is cls
+        assert "the message" in str(rebuilt)
+
+
+def test_retryability_travels_in_the_frame():
+    assert error_frame(ServerBusyError("x"))["retryable"] is True
+    assert error_frame(RequestTimeoutError("x"))["retryable"] is True
+    assert error_frame(BackendError("x"))["retryable"] is False
+    assert exception_from_frame(error_frame(ServerBusyError("x"))).retryable is True
+
+
+def test_unknown_wire_code_degrades_to_server_error():
+    exc = exception_from_frame({"ok": False, "error": "FANCY_NEW", "message": "m"})
+    assert isinstance(exc, ServerError)
+    assert "m" in str(exc)

@@ -56,6 +56,13 @@ PUBLIC_MODULES = (
     "repro/gateway/cache.py",
     "repro/gateway/executor.py",
     "repro/gateway/fingerprint.py",
+    "repro/server/__init__.py",
+    "repro/server/protocol.py",
+    "repro/server/config.py",
+    "repro/server/admission.py",
+    "repro/server/server.py",
+    "repro/server/client.py",
+    "repro/server/loopback.py",
     "repro/mth/loader.py",
     "repro/bench/workload.py",
     "repro/bench/sharding.py",
