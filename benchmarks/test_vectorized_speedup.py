@@ -1,0 +1,77 @@
+"""Ablation: vectorized batch execution vs. the row-at-a-time oracle.
+
+The engine's hot path runs batch kernels (``repro.engine.vector``); the
+row-at-a-time interpreter is kept as the bit-identical differential oracle
+(``REPRO_ENGINE_VECTORIZE=0``).  This ablation times the *same* rewritten
+statement in both modes on the same loaded engine database and attaches the
+speedup ratio to ``extra_info`` — scan-heavy aggregations (Q1/Q6-class) are
+where the batch kernels pay off most, so those are the measured mix.
+
+Ratios are reported, not asserted: wall-clock multiples are hardware- and
+load-dependent, and a flaky threshold would hide real regressions behind
+retries.  Result rows ARE asserted identical — a speedup measured against a
+wrong answer is meaningless.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.workload import WorkloadConfig, load_workload
+from repro.mth.queries import query_text
+
+#: scan-dominated aggregation queries, where vectorization matters most
+QUERY_IDS = (1, 6)
+#: single-shot timing repeated this many times; the minimum is reported
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload(WorkloadConfig.scenario1())
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_vectorized_speedup(benchmark, workload, query_id):
+    """Measure row-mode vs. vectorized execution of one MT-H aggregation."""
+    database = getattr(workload.backend, "engine_database", None)
+    if database is None:
+        pytest.skip("the speedup ablation needs the in-memory engine backend")
+    connection = workload.connection(client=1, dataset="all")
+    rewritten = connection.rewrite(query_text(query_id))
+
+    was_enabled = database.vector.enabled
+    try:
+        database.set_vectorize(False)
+        workload.reset_caches()
+        row_seconds, row_result = _best_of(lambda: workload.backend.execute(rewritten))
+
+        database.set_vectorize(True)
+        workload.reset_caches()
+        vector_seconds, vector_result = _best_of(
+            lambda: workload.backend.execute(rewritten)
+        )
+        # the benchmarked unit is one more vectorized run, for the report
+        benchmark.pedantic(
+            lambda: workload.backend.execute(rewritten), rounds=1, iterations=1
+        )
+    finally:
+        database.set_vectorize(was_enabled)
+
+    assert vector_result.rows == row_result.rows
+    benchmark.extra_info["execute_row_ms"] = round(row_seconds * 1000.0, 4)
+    benchmark.extra_info["execute_vectorized_ms"] = round(vector_seconds * 1000.0, 4)
+    benchmark.extra_info["speedup"] = round(
+        row_seconds / vector_seconds if vector_seconds > 0 else float("inf"), 3
+    )

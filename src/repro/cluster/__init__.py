@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from .coordinator import ShardCoordinator
 from .merge import (
+    BatchMergeEvaluator,
     MergeEvaluator,
     PartialAggregateState,
     distinct_rows,
@@ -42,6 +43,7 @@ from .planner import (
 )
 
 __all__ = [
+    "BatchMergeEvaluator",
     "ClusterCatalog",
     "ClusterPlanner",
     "ExplicitPlacement",

@@ -22,21 +22,39 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional, Sequence, Union
 
+from ..engine.config import VectorConfig
 from ..result import QueryResult
 from ..sql import ast
 from ..sql.printer import to_sql
-from .merge import MergeEvaluator, distinct_rows, merge_partial_rows, sort_rows
+from .merge import (
+    BatchMergeEvaluator,
+    MergeEvaluator,
+    distinct_rows,
+    merge_partial_rows,
+    sort_rows,
+)
 from .planner import PartialAggregatePlan, RowStreamPlan, SingleShardPlan
 
 
 class ShardCoordinator:
-    """Executes single-shard and scatter-gather plans over shard connections."""
+    """Executes single-shard and scatter-gather plans over shard connections.
+
+    ``vector`` selects the merge-side evaluation mode: when enabled (the
+    default, following ``REPRO_ENGINE_VECTORIZE``), post-merge residual
+    expressions are compiled once per statement into batch kernels and
+    evaluated over all merged groups at once; when disabled the per-group
+    :class:`~repro.cluster.merge.MergeEvaluator` row oracle runs instead.
+    """
 
     def __init__(
-        self, shards: Sequence[Any], functions: Optional[dict[str, Any]] = None
+        self,
+        shards: Sequence[Any],
+        functions: Optional[dict[str, Any]] = None,
+        vector: Optional[VectorConfig] = None,
     ) -> None:
         self._shards = list(shards)
         self._functions = functions if functions is not None else {}
+        self._vector = vector if vector is not None else VectorConfig.from_env()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -128,6 +146,45 @@ class ShardCoordinator:
             for item in statement.items
         ]
         order_specs = [(order.expr, order.descending) for order in statement.order_by]
+        if self._vector.enabled and groups:
+            merged_rows = self._merge_groups_batch(
+                split, statement, groups, aliases_by_position, order_specs, parameters
+            )
+        else:
+            merged_rows = self._merge_groups_rowwise(
+                split, statement, groups, aliases_by_position, order_specs, parameters
+            )
+
+        if statement.distinct:
+            merged_rows = distinct_rows(merged_rows, key=lambda entry: entry[0])
+        if order_specs:
+            sort_columns = [
+                (position, descending)
+                for position, (_, descending) in enumerate(order_specs)
+            ]
+            ordered = sort_rows(
+                [values + keys for values, keys in merged_rows],
+                [(len(statement.items) + position, desc) for position, desc in sort_columns],
+            )
+            rows = [row[: len(statement.items)] for row in ordered]
+        else:
+            rows = [values for values, _ in merged_rows]
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        columns = [_output_name(item) for item in statement.items]
+        return QueryResult(columns=columns, rows=rows)
+
+    def _merge_groups_rowwise(
+        self,
+        split: Any,
+        statement: ast.Select,
+        groups: dict[tuple, list],
+        aliases_by_position: list[Optional[str]],
+        order_specs: list[tuple[ast.Expression, bool]],
+        parameters: Optional[Sequence[Any]],
+    ) -> list[tuple[tuple, tuple]]:
+        """Per-group residual evaluation (the ``REPRO_ENGINE_VECTORIZE=0``
+        oracle): one fresh :class:`MergeEvaluator` pair per merged group."""
         merged_rows: list[tuple[tuple, tuple]] = []  # (visible row, sort keys)
         for key, states in groups.items():
             bindings: dict[str, Any] = dict(zip(split.key_texts, key))
@@ -149,25 +206,75 @@ class ShardCoordinator:
                 continue
             sort_values = tuple(final.evaluate(expr) for expr, _ in order_specs)
             merged_rows.append((values, sort_values))
+        return merged_rows
 
-        if statement.distinct:
-            merged_rows = distinct_rows(merged_rows, key=lambda entry: entry[0])
-        if order_specs:
-            sort_columns = [
-                (position, descending)
-                for position, (_, descending) in enumerate(order_specs)
+    def _merge_groups_batch(
+        self,
+        split: Any,
+        statement: ast.Select,
+        groups: dict[tuple, list],
+        aliases_by_position: list[Optional[str]],
+        order_specs: list[tuple[ast.Expression, bool]],
+        parameters: Optional[Sequence[Any]],
+    ) -> list[tuple[tuple, tuple]]:
+        """Vectorized residual evaluation over all merged groups at once.
+
+        Each residual expression compiles once per statement; the merged
+        groups form a single batch whose rows are ``group key + merged
+        aggregate values`` (plus the computed alias columns for ``HAVING``
+        and ``ORDER BY``).  The stage order mirrors row mode exactly:
+        SELECT items first (without alias visibility), then the ``HAVING``
+        filter, and only then the sort keys — so groups the filter drops
+        never see the ORDER BY expressions, in either mode.
+        """
+        from ..engine.vector import RowBatch
+
+        binding_texts = list(split.key_texts) + [spec.text for spec in split.partials]
+        group_rows = [
+            key + tuple(state.result() for state in states)
+            for key, states in groups.items()
+        ]
+        item_evaluator = BatchMergeEvaluator(
+            binding_texts, functions=self._functions, parameters=parameters
+        )
+        item_kernels = [item_evaluator.compile(item.expr) for item in statement.items]
+        batch = RowBatch(group_rows)
+        value_columns = [kernel(batch, ()) for kernel in item_kernels]
+        values_rows = list(zip(*value_columns))
+
+        alias_positions = [
+            position
+            for position, alias in enumerate(aliases_by_position)
+            if alias is not None
+        ]
+        alias_names = [aliases_by_position[position] for position in alias_positions]
+        final_evaluator = BatchMergeEvaluator(
+            binding_texts,
+            alias_names,
+            functions=self._functions,
+            parameters=parameters,
+        )
+        extended_rows = [
+            row + tuple(values[position] for position in alias_positions)
+            for row, values in zip(group_rows, values_rows)
+        ]
+        if statement.having is not None:
+            having_kernel = final_evaluator.compile(statement.having)
+            mask = having_kernel(RowBatch(extended_rows), ())
+            kept = [index for index, flag in enumerate(mask) if flag is True]
+            if len(kept) != len(extended_rows):
+                extended_rows = [extended_rows[index] for index in kept]
+                values_rows = [values_rows[index] for index in kept]
+        if order_specs and extended_rows:
+            order_kernels = [
+                final_evaluator.compile(expr) for expr, _ in order_specs
             ]
-            ordered = sort_rows(
-                [values + keys for values, keys in merged_rows],
-                [(len(statement.items) + position, desc) for position, desc in sort_columns],
-            )
-            rows = [row[: len(statement.items)] for row in ordered]
+            final_batch = RowBatch(extended_rows)
+            sort_columns = [kernel(final_batch, ()) for kernel in order_kernels]
+            sort_rows_keys = list(zip(*sort_columns))
         else:
-            rows = [values for values, _ in merged_rows]
-        if statement.limit is not None:
-            rows = rows[: statement.limit]
-        columns = [_output_name(item) for item in statement.items]
-        return QueryResult(columns=columns, rows=rows)
+            sort_rows_keys = [()] * len(extended_rows)
+        return list(zip(values_rows, sort_rows_keys))
 
 
 def _output_name(item: ast.SelectItem) -> str:

@@ -13,12 +13,19 @@ turns them back into the single-backend answer:
   the engine's SQL semantics (three-valued logic, NULL propagation, division
   by zero) via the shared :func:`repro.sql.types.sql_equal` /
   :func:`~repro.sql.types.sql_compare` helpers,
+* :class:`BatchMergeEvaluator` — the vectorized counterpart: residual
+  expressions are rewritten against the merged binding/alias columns and
+  compiled *once per statement* into the engine's batch kernels
+  (:class:`repro.engine.vector.BatchExpressionCompiler`), then evaluated
+  over all merged groups in one pass instead of re-walking the AST (and
+  re-printing every node through ``to_sql``) once per group,
 * :func:`sort_rows` — the engine's ``ORDER BY`` algorithm (stable per-key
   sorts over :func:`repro.sql.types.sort_key`) on gathered rows.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Iterable, Optional, Sequence
 
 from ..errors import ExecutionError
@@ -292,6 +299,202 @@ class MergeEvaluator:
 
 
 _MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized final-expression evaluation
+# ---------------------------------------------------------------------------
+
+
+class _UnsupportedResidual(Exception):
+    """Internal: the expression must go through the row-mode evaluator.
+
+    Raised during residual rewriting for constructs the batch path cannot
+    (or, for error-message parity, must not) compile: node types outside
+    :class:`MergeEvaluator`'s whitelist, unbound parameters, unregistered
+    functions and unknown columns.  The fallback kernel re-raises the
+    canonical row-mode error at evaluation time, so both modes fail
+    identically.
+    """
+
+
+class _BatchFunctionContext:
+    """The minimal execution-context surface merge-side batch kernels need.
+
+    The engine's :class:`~repro.engine.vector.BatchExpressionCompiler`
+    dispatches scalar calls through ``context.batch_call_function``; on the
+    coordinator the registry holds plain Python callables (builtins plus
+    registered Python UDFs), applied positionally with no memoization —
+    exactly what :meth:`MergeEvaluator.evaluate` does per group.
+    """
+
+    def __init__(self, functions: dict[str, Any]) -> None:
+        self._functions = functions
+
+    def batch_call_function(self, name: str, columns: list, n: int) -> list:
+        """Apply one scalar function over argument columns of length ``n``."""
+        fn = self._functions[name.lower()]
+        if not columns:
+            return [fn() for _ in range(n)]
+        return [fn(*values) for values in zip(*columns)]
+
+
+class BatchMergeEvaluator:
+    """Compiles residual expressions into batch kernels over merged groups.
+
+    The vectorized counterpart of :class:`MergeEvaluator`: instead of binding
+    a fresh evaluator per group and re-walking (and re-printing) the AST for
+    every group, the coordinator compiles each SELECT-item / ``HAVING`` /
+    ``ORDER BY`` expression *once per statement*.  Compilation rewrites the
+    tree bottom-up — any subtree whose printed form matches a binding text
+    becomes a synthetic column reference, alias references become alias
+    columns, parameters are pre-bound to literals — and hands the result to
+    the engine's :class:`~repro.engine.vector.BatchExpressionCompiler`, so
+    the kernels (NULL semantics, comparison coercion, CASE short-circuiting)
+    are the very ones the engine itself executes.
+
+    A kernel's batch rows are ``binding values + alias values`` in the
+    constructor's order; alias columns exist only on evaluators constructed
+    with ``alias_names`` (the items-evaluator omits them, mirroring row
+    mode where SELECT items cannot see their own aliases).
+    """
+
+    def __init__(
+        self,
+        binding_texts: Sequence[str],
+        alias_names: Sequence[str] = (),
+        functions: Optional[dict[str, Any]] = None,
+        parameters: Optional[Sequence[Any]] = None,
+    ) -> None:
+        from ..engine.vector import BatchExpressionCompiler
+
+        self.binding_texts = list(binding_texts)
+        self.alias_names = [name.lower() for name in alias_names]
+        self.functions = functions if functions is not None else {}
+        self.parameters = tuple(parameters) if parameters is not None else None
+        self._slots = {text: index for index, text in enumerate(self.binding_texts)}
+        base = len(self.binding_texts)
+        self._alias_slots = {
+            name: base + offset for offset, name in enumerate(self.alias_names)
+        }
+        # synthetic scope: one unqualified column per binding, then per alias
+        # ('#' keeps the names out of any parsable identifier space)
+        self._names = [f"#m{index}" for index in range(base)] + [
+            f"#a{offset}" for offset in range(len(self.alias_names))
+        ]
+        from ..engine.expressions import Scope
+
+        scope = Scope([(None, name) for name in self._names])
+        self._compiler = BatchExpressionCompiler(
+            scope, _BatchFunctionContext(self.functions)
+        )
+
+    def compile(self, expr: ast.Expression):
+        """Compile one residual expression into ``kernel(batch, ()) -> column``."""
+        try:
+            rewritten = self._rewrite(expr)
+        except _UnsupportedResidual:
+            return self._rowwise(expr)
+        return self._compiler.compile(rewritten)
+
+    # -- fallback ------------------------------------------------------------
+
+    def _rowwise(self, expr: ast.Expression):
+        """Per-group evaluation through :class:`MergeEvaluator`.
+
+        Reached only for residuals the rewrite refused (see
+        :class:`_UnsupportedResidual`); keeps error behaviour and messages
+        identical to row mode.
+        """
+        texts = self.binding_texts
+        width = len(texts)
+        alias_names = self.alias_names
+        functions = self.functions
+        parameters = self.parameters
+
+        def kernel(batch, outers) -> list:
+            out = []
+            for row in batch.rows:
+                evaluator = MergeEvaluator(
+                    dict(zip(texts, row)),
+                    dict(zip(alias_names, row[width:])),
+                    functions=functions,
+                    parameters=parameters,
+                )
+                out.append(evaluator.evaluate(expr))
+            return out
+
+        return kernel
+
+    # -- residual rewriting --------------------------------------------------
+
+    def _rewrite(self, expr: ast.Expression) -> ast.Expression:
+        """Rewrite a residual tree against the synthetic merge columns.
+
+        Mirrors :meth:`MergeEvaluator.evaluate`'s resolution order: the
+        binding texts win over everything (an aggregate-call subtree inside a
+        larger expression resolves as a whole), then literals / pre-bound
+        parameters / alias columns, then the structural node types of the
+        row evaluator's whitelist.  Anything else is a row-mode fallback.
+        """
+        slot = self._slots.get(to_sql(expr))
+        if slot is not None:
+            return ast.Column(name=self._names[slot])
+        if isinstance(expr, ast.Literal):
+            return expr
+        if isinstance(expr, ast.Parameter):
+            if self.parameters is None or not 1 <= expr.index <= len(self.parameters):
+                raise _UnsupportedResidual
+            return ast.Literal(value=self.parameters[expr.index - 1])
+        if isinstance(expr, ast.Column):
+            if expr.table is None:
+                alias_slot = self._alias_slots.get(expr.name.lower())
+                if alias_slot is not None:
+                    return ast.Column(name=self._names[alias_slot])
+            raise _UnsupportedResidual
+        if isinstance(expr, ast.BinaryOp):
+            return dataclasses.replace(
+                expr, left=self._rewrite(expr.left), right=self._rewrite(expr.right)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return dataclasses.replace(expr, operand=self._rewrite(expr.operand))
+        if isinstance(expr, ast.Case):
+            whens = tuple(
+                dataclasses.replace(
+                    when,
+                    condition=self._rewrite(when.condition),
+                    result=self._rewrite(when.result),
+                )
+                for when in expr.whens
+            )
+            else_result = (
+                None
+                if expr.else_result is None
+                else self._rewrite(expr.else_result)
+            )
+            return dataclasses.replace(expr, whens=whens, else_result=else_result)
+        if isinstance(expr, ast.IsNull):
+            return dataclasses.replace(expr, expr=self._rewrite(expr.expr))
+        if isinstance(expr, ast.Between):
+            return dataclasses.replace(
+                expr,
+                expr=self._rewrite(expr.expr),
+                low=self._rewrite(expr.low),
+                high=self._rewrite(expr.high),
+            )
+        if isinstance(expr, ast.InList):
+            return dataclasses.replace(
+                expr,
+                expr=self._rewrite(expr.expr),
+                items=tuple(self._rewrite(item) for item in expr.items),
+            )
+        if isinstance(expr, ast.FunctionCall):
+            if expr.is_aggregate or self.functions.get(expr.name.lower()) is None:
+                raise _UnsupportedResidual
+            return dataclasses.replace(
+                expr, args=tuple(self._rewrite(argument) for argument in expr.args)
+            )
+        raise _UnsupportedResidual
 
 
 # ---------------------------------------------------------------------------

@@ -4,7 +4,11 @@ The report is the user-facing window into the staged compiler: one line per
 stage with wall time, AST size delta and fired-rule count, the shardability
 verdict, the conversion-call census, and the SQL text after every stage —
 rendered in a chosen :class:`~repro.sql.dialect.Dialect` so the printout
-matches what the connection's backend would receive.
+matches what the connection's backend would receive.  With
+``MTConnection.explain(..., analyze=True)`` the report additionally carries
+the executed statement's per-operator profile (batch counts, rows per
+batch, wall time), so compile-side and execution-side cost sit in one
+printout.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..result import OperatorProfile
 from ..sql.dialect import DEFAULT_DIALECT, Dialect
 from ..sql.printer import to_sql
 from .artifact import CompiledQuery
@@ -19,10 +24,17 @@ from .artifact import CompiledQuery
 
 @dataclass
 class ExplainReport:
-    """A compiled statement plus the dialect its SQL snapshots print in."""
+    """A compiled statement plus the dialect its SQL snapshots print in.
+
+    ``operators`` is ``None`` for a compile-only report; an ``analyze`` run
+    fills it with the statement's per-operator execution profile delta
+    (which may legitimately be empty — e.g. a backend that does not record
+    operator profiles).
+    """
 
     compiled: CompiledQuery
     dialect: Optional[Dialect] = None
+    operators: Optional[list[OperatorProfile]] = None
 
     # -- convenience accessors -------------------------------------------------
 
@@ -77,6 +89,14 @@ class ExplainReport:
             f"partitioned={list(analysis.partitioned)} "
             f"tables={list(analysis.tables)}"
         )
+        if self.operators is not None:
+            lines.append("")
+            lines.append("execution profile (one analyzed run):")
+            if self.operators:
+                for profile in self.operators:
+                    lines.append(f"  {profile.describe()}")
+            else:
+                lines.append("  (backend recorded no operator profiles)")
         if include_sql:
             for record in compiled.passes:
                 lines.append("")

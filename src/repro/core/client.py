@@ -262,6 +262,8 @@ class MTConnection:
         self,
         statement: Union[str, ast.Select],
         dialect: Optional[Union[str, Dialect]] = None,
+        analyze: bool = False,
+        parameters: Optional[Sequence] = None,
     ) -> "ExplainReport":
         """Compile a query and return the pass-by-pass compilation report.
 
@@ -270,13 +272,62 @@ class MTConnection:
         SQL snapshot after every stage.  ``dialect`` works like in
         :meth:`rewrite_sql` but defaults to ``"backend"`` — the printout shows
         what this connection's backend would receive.
+
+        With ``analyze=True`` the compiled statement is also *executed* once
+        (bind values via ``parameters``) and the report gains the run's
+        per-operator execution profile — batch counts, rows per batch and
+        wall time next to the per-pass compile timings.  The profile is a
+        delta of the backend's statistics around the run, so concurrent
+        statements on the same backend would bleed into it; analyze on a
+        quiet connection.
         """
         from ..compile.explain import ExplainReport
 
         resolved = (
             self.backend.dialect if dialect is None else self._resolve_dialect(dialect)
         )
-        return ExplainReport(compiled=self.compile(statement), dialect=resolved)
+        compiled = self.compile(statement)
+        operators = None
+        if analyze:
+            operators = self._analyze_operators(compiled, parameters)
+        return ExplainReport(compiled=compiled, dialect=resolved, operators=operators)
+
+    def _analyze_operators(
+        self, compiled: "CompiledQuery", parameters: Optional[Sequence]
+    ) -> list:
+        """Execute a compiled statement and return its operator-profile delta."""
+        from ..result import OperatorProfile
+
+        stats = getattr(self.backend, "stats", None)
+        snapshot = getattr(stats, "operator_snapshot", None)
+        before = (
+            {profile.operator: profile for profile in snapshot()}
+            if snapshot is not None
+            else {}
+        )
+        self.backend.execute_scoped(
+            compiled.rewritten,
+            dataset=compiled.dataset,
+            parameters=tuple(parameters) if parameters else None,
+            compiled=compiled,
+        )
+        operators: list = []
+        if snapshot is not None:
+            for profile in snapshot():
+                prior = before.get(profile.operator)
+                batches = profile.batches - (prior.batches if prior else 0)
+                rows = profile.rows - (prior.rows if prior else 0)
+                seconds = profile.seconds - (prior.seconds if prior else 0.0)
+                if batches > 0 or rows > 0:
+                    operators.append(
+                        OperatorProfile(
+                            operator=profile.operator,
+                            batches=batches,
+                            rows=rows,
+                            seconds=seconds,
+                        )
+                    )
+        return operators
 
     def _resolve_dialect(
         self, dialect: Optional[Union[str, Dialect]]

@@ -9,11 +9,17 @@ from .database import (
     Database,
     StatementResult,
 )
+from .config import DEFAULT_BATCH_SIZE, VectorConfig
 from .executor import ExecutionStats, QueryResult
 from .functions import PythonFunction, SQLFunction
 from .storage import ColumnSchema, Table, TableSchema
+from .vector import BatchExpressionCompiler, RowBatch
 
 __all__ = [
+    "BatchExpressionCompiler",
+    "DEFAULT_BATCH_SIZE",
+    "RowBatch",
+    "VectorConfig",
     "Catalog",
     "Database",
     "BackendProfile",

@@ -1,0 +1,96 @@
+"""Engine execution configuration: the vectorization knobs.
+
+The engine can evaluate expressions in two modes:
+
+* **vectorized** (the default) — expression trees are compiled once per plan
+  into *batch kernels* operating on column arrays; scans, filters, joins,
+  projections and aggregation process :class:`~repro.engine.vector.RowBatch`
+  windows of ``batch_size`` rows at a time,
+* **row-at-a-time** — the original per-row closure interpreter, kept as the
+  differential oracle (``REPRO_ENGINE_VECTORIZE=0``).
+
+Deployments configure through environment variables with the same strictness
+as the ``REPRO_SERVER_*`` / ``REPRO_BENCH_*`` families: a malformed value
+raises :class:`~repro.errors.ConfigurationError` instead of being silently
+replaced by a default, because a typo in a batch size must not quietly run
+the engine in the wrong mode.
+
++----------------------------+---------------------------------------------+
+| variable                   | meaning                                     |
++============================+=============================================+
+| ``REPRO_ENGINE_VECTORIZE`` | ``1`` = batch kernels (default), ``0`` =    |
+|                            | row-at-a-time oracle                        |
+| ``REPRO_ENGINE_BATCH``     | rows per batch (default 1024, minimum 1)    |
++----------------------------+---------------------------------------------+
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+DEFAULT_BATCH_SIZE = 1024
+
+
+def env_vectorize(default: bool = True) -> bool:
+    """Execution-mode override via ``REPRO_ENGINE_VECTORIZE`` (``0`` or ``1``).
+
+    Anything other than the two literal flags is a configuration error — a
+    differential run that silently fell back to the default mode would
+    compare an engine against itself.
+    """
+    value = os.environ.get("REPRO_ENGINE_VECTORIZE", "").strip()
+    if not value:
+        return default
+    if value == "1":
+        return True
+    if value == "0":
+        return False
+    raise ConfigurationError(
+        f"the REPRO_ENGINE_VECTORIZE environment variable must be '0' or '1' "
+        f"(got {value!r})"
+    )
+
+
+def env_batch_size(default: int = DEFAULT_BATCH_SIZE) -> int:
+    """Rows-per-batch override via ``REPRO_ENGINE_BATCH`` (integer >= 1)."""
+    value = os.environ.get("REPRO_ENGINE_BATCH", "").strip()
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"the REPRO_ENGINE_BATCH environment variable must be an integer "
+            f"(got {value!r})"
+        ) from None
+    if parsed < 1:
+        raise ConfigurationError(
+            f"the REPRO_ENGINE_BATCH environment variable must be >= 1 "
+            f"(got {parsed})"
+        )
+    return parsed
+
+
+@dataclass(frozen=True)
+class VectorConfig:
+    """The engine's execution-mode tunables (see the module docstring)."""
+
+    enabled: bool = True
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    @classmethod
+    def from_env(cls, **overrides) -> "VectorConfig":
+        """Build a config from the ``REPRO_ENGINE_*`` environment knobs.
+
+        Keyword ``overrides`` win over the environment (the constructor-arg
+        escape hatch for tests and embedded engines).
+        """
+        values = {
+            "enabled": env_vectorize(),
+            "batch_size": env_batch_size(),
+        }
+        values.update(overrides)
+        return cls(**values)

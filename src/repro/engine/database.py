@@ -21,6 +21,7 @@ from ..result import ExecuteResult, StatementResult
 from ..sql import ast
 from ..sql.parser import parse_statement, parse_statements
 from .catalog import Catalog
+from .config import VectorConfig
 from .ddl import (
     execute_create_function,
     execute_create_table,
@@ -51,15 +52,27 @@ PROFILES = {
 
 
 class Database:
-    """An in-memory SQL database executing the ``repro`` SQL dialect."""
+    """An in-memory SQL database executing the ``repro`` SQL dialect.
 
-    def __init__(self, profile: Union[str, BackendProfile] = POSTGRES_PROFILE) -> None:
+    Expression evaluation runs in one of two modes (chosen per statement
+    preparation from :attr:`vector`): vectorized batch kernels — the default
+    — or the row-at-a-time closure interpreter kept as the differential
+    oracle.  ``REPRO_ENGINE_VECTORIZE`` / ``REPRO_ENGINE_BATCH`` configure
+    the mode process-wide; :meth:`set_vectorize` flips it per database.
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, BackendProfile] = POSTGRES_PROFILE,
+        vector: Optional[VectorConfig] = None,
+    ) -> None:
         if isinstance(profile, str):
             try:
                 profile = PROFILES[profile]
             except KeyError as exc:
                 raise ExecutionError(f"unknown back-end profile {profile!r}") from exc
         self.profile = profile
+        self.vector = vector if vector is not None else VectorConfig.from_env()
         self.catalog = Catalog()
         self.stats = ExecutionStats()
         self.executor = Executor(self)
@@ -174,6 +187,19 @@ class Database:
 
     def table_rowcount(self, table_name: str) -> int:
         return len(self.catalog.table(table_name).rows)
+
+    def set_vectorize(self, enabled: bool, batch_size: Optional[int] = None) -> None:
+        """Switch the execution mode (and optionally the batch size).
+
+        Plans are prepared per statement execution, so the switch takes
+        effect on the next statement; the cached SQL-UDF body plans are
+        dropped because they were compiled for the previous mode.
+        """
+        self.vector = VectorConfig(
+            enabled=enabled,
+            batch_size=batch_size if batch_size is not None else self.vector.batch_size,
+        )
+        self.executor.invalidate()
 
     def reset_stats(self) -> None:
         self.stats.reset()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Optional
 
 from ..errors import ExecutionError, FunctionError
@@ -27,8 +28,13 @@ from .expressions import (
     Scope,
     find_aggregates,
 )
-from .functions import BUILTIN_SCALARS, Function, make_aggregate
+from .functions import BUILTIN_SCALARS, CountAggregate, Function, make_aggregate
 from .planner import EmptyPipeline, JoinPipeline, Planner
+from .vector import (
+    BatchExpressionCompiler,
+    RowBatch,
+    apply_batch_predicates,
+)
 
 
 @dataclass
@@ -63,6 +69,66 @@ class ExecutionContext:
             return builtin(*args)
         raise FunctionError(f"unknown function {name!r}")
 
+    def batch_call_function(self, name: str, columns: list[list], n: int) -> list:
+        """Call a scalar function over argument columns (the batch hot path).
+
+        Catalog UDFs under a memoizing profile are *memo-batched*: the
+        ``(args)`` keys of a batch are deduplicated, the shared memo in
+        :meth:`repro.engine.functions.Function.invoke` is hit once per
+        distinct key, and results scatter to every occurrence.  Counters
+        stay identical to row-at-a-time execution — each duplicate
+        occurrence is still one call that hit the cache, accounted in bulk
+        (:meth:`~repro.engine.functions.Function.add_memo_hits`) — so the
+        UDF-cache ablation counts distinct conversion evaluations the same
+        in both modes.  Non-memoizing profiles (System C cannot declare
+        UDFs deterministic) call per row, preserving their per-row
+        execution counts.
+        """
+        catalog = self.database.catalog
+        stats = self.database.stats
+        if catalog.has_function(name):
+            function = catalog.function(name)
+            use_cache = self.database.profile.cache_immutable_functions
+            if use_cache and function.immutable:
+                out = [None] * n
+                memo: dict[tuple, Any] = {}
+                duplicates = 0
+                for position in range(n):
+                    args = tuple(column[position] for column in columns)
+                    try:
+                        hit = args in memo
+                    except TypeError:  # unhashable argument: no dedupe
+                        value, executed = function.invoke(args, self, use_cache=True)
+                        stats.add_udf_call(executed)
+                        out[position] = value
+                        continue
+                    if hit:
+                        out[position] = memo[args]
+                        duplicates += 1
+                    else:
+                        value, executed = function.invoke(args, self, use_cache=True)
+                        stats.add_udf_call(executed)
+                        memo[args] = value
+                        out[position] = value
+                if duplicates:
+                    function.add_memo_hits(duplicates)
+                    stats.add(udf_calls=duplicates, udf_cache_hits=duplicates)
+                return out
+            out = []
+            for position in range(n):
+                args = tuple(column[position] for column in columns)
+                value, executed = function.invoke(args, self, use_cache=use_cache)
+                stats.add_udf_call(executed)
+                out.append(value)
+            return out
+        builtin = BUILTIN_SCALARS.get(name.lower())
+        if builtin is not None:
+            return [
+                builtin(*(column[position] for column in columns))
+                for position in range(n)
+            ]
+        raise FunctionError(f"unknown function {name!r}")
+
     def run_function_body(self, function: Function, args: list[Any]) -> Any:
         prepared = self.executor.function_body_plan(function, len(args))
         rows = prepared.run((tuple(args),))
@@ -94,14 +160,23 @@ class PreparedSelect:
 
     def _compile(self) -> None:
         select = self._select
+        vector = self._context.database.vector
+        self._vector = vector
+        self._vectorized = vector.enabled
+        # operator profiles are recorded for top-level statements only;
+        # per-outer-row sub-query runs would drown the profile in lock traffic
+        self._profile_ops = self._parent_scope is None
         planner = Planner(self._context, self._parent_scope)
         self._pipeline, self._scope, subquery_conjuncts = planner.plan(select)
         self._scopes.extend(planner.created_scopes)
         self._children.extend(self._pipeline.children())
 
-        row_compiler = ExpressionCompiler(self._scope, self._context)
+        if self._vectorized:
+            expr_compiler = BatchExpressionCompiler(self._scope, self._context)
+        else:
+            expr_compiler = ExpressionCompiler(self._scope, self._context)
         self._post_filters = [
-            row_compiler.compile_predicate(conjunct) for conjunct in subquery_conjuncts
+            expr_compiler.compile_predicate(conjunct) for conjunct in subquery_conjuncts
         ]
 
         items = self._expand_stars(select.items)
@@ -119,9 +194,9 @@ class PreparedSelect:
 
         self._grouped = bool(select.group_by) or bool(aggregates)
         if self._grouped:
-            self._compile_grouped(select, items, aggregates, alias_map, row_compiler)
+            self._compile_grouped(select, items, aggregates, alias_map, expr_compiler)
         else:
-            self._compile_plain(select, items, alias_map, row_compiler)
+            self._compile_plain(select, items, alias_map, expr_compiler)
 
         self._distinct = select.distinct
         self._limit = select.limit
@@ -134,13 +209,13 @@ class PreparedSelect:
         select: ast.Select,
         items: list[ast.SelectItem],
         alias_map: dict[str, ast.Expression],
-        row_compiler: ExpressionCompiler,
+        compiler,
     ) -> None:
         if select.having is not None:
             raise ExecutionError("HAVING requires GROUP BY or aggregation")
-        self._item_fns = [row_compiler.compile(item.expr) for item in items]
+        self._item_fns = [compiler.compile(item.expr) for item in items]
         self._order_fns = [
-            (row_compiler.compile(self._substitute_aliases(order.expr, alias_map)), order.descending)
+            (compiler.compile(self._substitute_aliases(order.expr, alias_map)), order.descending)
             for order in select.order_by
         ]
         self._group_key_fns = []
@@ -153,7 +228,7 @@ class PreparedSelect:
         items: list[ast.SelectItem],
         aggregates: list[ast.FunctionCall],
         alias_map: dict[str, ast.Expression],
-        row_compiler: ExpressionCompiler,
+        compiler,
     ) -> None:
         group_exprs = [
             self._substitute_aliases(expr, alias_map, prefer_input=True)
@@ -175,16 +250,19 @@ class PreparedSelect:
             mapping[text] = placeholder
             group_columns.append((None, placeholder))
             if aggregate.args and not isinstance(aggregate.args[0], ast.Star):
-                arg_fn = row_compiler.compile(aggregate.args[0])
+                arg_fn = compiler.compile(aggregate.args[0])
             else:
                 arg_fn = None
             self._aggregate_specs.append((aggregate, arg_fn))
 
-        self._group_key_fns = [row_compiler.compile(expr) for expr in group_exprs]
+        self._group_key_fns = [compiler.compile(expr) for expr in group_exprs]
 
         group_scope = Scope(group_columns, parent=self._parent_scope)
         self._scopes.append(group_scope)
-        group_compiler = ExpressionCompiler(group_scope, self._context)
+        if self._vectorized:
+            group_compiler = BatchExpressionCompiler(group_scope, self._context)
+        else:
+            group_compiler = ExpressionCompiler(group_scope, self._context)
 
         def rewrite(expr: Optional[ast.Expression]) -> Optional[ast.Expression]:
             if expr is None:
@@ -318,15 +396,18 @@ class PreparedSelect:
     def stream(self, outers: tuple = ()):
         """Yield projected rows lazily (see :attr:`streamable`).
 
-        The lazy path pulls rows one at a time from the join pipeline's
-        :meth:`~repro.engine.planner.JoinPipeline.iter_rows` spine, applies
-        the post-filters and the projection per row and honours ``LIMIT`` by
-        stopping the pull early.  Laziness covers joining and projection —
-        never the full *result set* is materialized; each base scan still
-        evaluates its pushed-down filters over its whole table when first
-        pulled (sources produce row lists).  Cached rows (uncorrelated
-        sub-query memo) and non-streamable shapes are simply replayed from
-        the materialized result.
+        In vectorized mode the lazy path pulls bounded row chunks from
+        :meth:`~repro.engine.planner.JoinPipeline.iter_batches`, applies the
+        post-filters and the projection per *batch* and honours ``LIMIT`` by
+        stopping the pull early — an early ``LIMIT`` therefore materializes
+        O(batch) rows.  Row mode pulls single rows from
+        :meth:`~repro.engine.planner.JoinPipeline.iter_rows` instead.
+        Laziness covers joining and projection — never the full *result
+        set* is materialized; each base scan still evaluates its pushed-down
+        filters over its whole table when first pulled (sources produce row
+        lists).  Cached rows (uncorrelated sub-query memo) and
+        non-streamable shapes are simply replayed from the materialized
+        result.
         """
         if not self.streamable or (not self.correlated and self._cache_rows is not None):
             yield from self.run(outers)
@@ -336,6 +417,20 @@ class PreparedSelect:
         item_fns = self._item_fns
         limit = self._limit
         produced = 0
+        if self._vectorized:
+            for chunk in self._pipeline.iter_batches(outers, self._vector.batch_size):
+                batch = RowBatch(chunk)
+                if filters:
+                    batch = apply_batch_predicates(batch, filters, outers)
+                    if batch.n == 0:
+                        continue
+                columns = [fn(batch, outers) for fn in item_fns]
+                for values in zip(*columns):
+                    yield values
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+            return
         for row in self._pipeline.iter_rows(outers):
             if filters and not all(
                 predicate(row, outers) is True for predicate in filters
@@ -347,26 +442,171 @@ class PreparedSelect:
                 return
 
     def _run_uncached(self, outers: tuple) -> list[tuple]:
-        self._context.database.stats.add(subquery_runs=1)
+        stats = self._context.database.stats
+        stats.add(subquery_runs=1)
+        profiled = self._profile_ops
+        batch_size = self._vector.batch_size
+        started = perf_counter() if profiled else 0.0
         rows = self._pipeline.execute(outers)
+        if profiled:
+            now = perf_counter()
+            stats.record_operator("scan+join", len(rows), now - started)
+            started = now
         if self._post_filters:
-            filters = self._post_filters
-            rows = [
-                row
-                for row in rows
-                if all(predicate(row, outers) is True for predicate in filters)
-            ]
+            if self._vectorized:
+                rows = apply_batch_predicates(
+                    RowBatch(rows), self._post_filters, outers
+                ).rows
+            else:
+                filters = self._post_filters
+                rows = [
+                    row
+                    for row in rows
+                    if all(predicate(row, outers) is True for predicate in filters)
+                ]
+            if profiled:
+                now = perf_counter()
+                stats.record_operator("filter", len(rows), now - started)
+                started = now
+        input_rows = len(rows)
         if self._grouped:
-            projected = self._run_grouped(rows, outers)
+            operator = "aggregate"
+            if self._vectorized:
+                projected = self._run_grouped_vector(rows, outers)
+            else:
+                projected = self._run_grouped(rows, outers)
         else:
-            projected = self._run_plain(rows, outers)
+            operator = "project"
+            if self._vectorized:
+                projected = self._run_plain_vector(rows, outers)
+            else:
+                projected = self._run_plain(rows, outers)
+        if profiled:
+            now = perf_counter()
+            batches = (
+                max(1, -(-input_rows // batch_size)) if self._vectorized else 1
+            )
+            stats.record_operator(operator, input_rows, now - started, batches=batches)
+            started = now
         if self._distinct:
             projected = self._deduplicate(projected)
-        projected = self._order(projected)
+            if profiled:
+                now = perf_counter()
+                stats.record_operator("distinct", len(projected), now - started)
+                started = now
+        if self._order_fns:
+            projected = self._order(projected)
+            if profiled:
+                now = perf_counter()
+                stats.record_operator("order", len(projected), now - started)
         result = [row for row, _ in projected]
         if self._limit is not None:
             result = result[: self._limit]
         return result
+
+    def _run_plain_vector(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
+        """Batch projection: evaluate item/order columns per bounded window."""
+        batch_size = self._vector.batch_size
+        item_fns = self._item_fns
+        order_fns = self._order_fns
+        projected: list[tuple[tuple, tuple]] = []
+        for start in range(0, len(rows), batch_size):
+            batch = RowBatch(rows[start : start + batch_size])
+            value_columns = [fn(batch, outers) for fn in item_fns]
+            values_rows = list(zip(*value_columns))
+            if order_fns:
+                key_columns = [fn(batch, outers) for fn, _ in order_fns]
+                keys_rows = list(zip(*key_columns))
+            else:
+                keys_rows = [()] * batch.n
+            projected.extend(zip(values_rows, keys_rows))
+        return projected
+
+    def _run_grouped_vector(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
+        """Batch aggregation: columnwise keys/arguments, per-group add_many.
+
+        Rows are processed in bounded windows; within a window the group
+        keys and every aggregate argument are evaluated as columns, the
+        window is partitioned by key, and each group's accumulator folds
+        its slice via :meth:`~repro.engine.functions.Aggregate.add_many` —
+        in row order, so float accumulation is bit-identical to row mode.
+        """
+        specs = self._aggregate_specs
+        group_key_fns = self._group_key_fns
+        has_keys = bool(group_key_fns)
+        batch_size = self._vector.batch_size
+        groups: dict[tuple, list] = {}
+        for start in range(0, len(rows), batch_size):
+            batch = RowBatch(rows[start : start + batch_size])
+            argument_columns = [
+                fn(batch, outers) if fn is not None else None for _, fn in specs
+            ]
+            partition: dict[tuple, list[int]] = {}
+            if has_keys:
+                key_columns = [fn(batch, outers) for fn in group_key_fns]
+                for index, key in enumerate(zip(*key_columns)):
+                    bucket = partition.get(key)
+                    if bucket is None:
+                        partition[key] = [index]
+                    else:
+                        bucket.append(index)
+            else:
+                partition[()] = list(range(batch.n))
+            batch_rows = batch.rows
+            whole = batch.n
+            for key, indices in partition.items():
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [
+                        make_aggregate(aggregate) for aggregate, _ in specs
+                    ]
+                    groups[key] = accumulators
+                count = len(indices)
+                for accumulator, column in zip(accumulators, argument_columns):
+                    if column is None:
+                        # COUNT(*) needs no argument column; other argless
+                        # shapes mirror row mode and feed the row tuples
+                        if type(accumulator) is CountAggregate:
+                            accumulator.add_count(count)
+                        else:
+                            accumulator.add_many([batch_rows[i] for i in indices])
+                    elif count == whole:
+                        accumulator.add_many(column)
+                    else:
+                        accumulator.add_many([column[i] for i in indices])
+        if not groups and not has_keys:
+            groups[()] = [make_aggregate(aggregate) for aggregate, _ in specs]
+
+        group_rows = [
+            key + tuple(accumulator.result() for accumulator in accumulators)
+            for key, accumulators in groups.items()
+        ]
+        return self._project_groups_vector(group_rows, outers)
+
+    def _project_groups_vector(
+        self, group_rows: list[tuple], outers: tuple
+    ) -> list[tuple[tuple, tuple]]:
+        """HAVING + projection over the merged group rows, batch at a time."""
+        batch_size = self._vector.batch_size
+        having_fn = self._having_fn
+        item_fns = self._item_fns
+        order_fns = self._order_fns
+        projected: list[tuple[tuple, tuple]] = []
+        for start in range(0, len(group_rows), batch_size):
+            batch = RowBatch(group_rows[start : start + batch_size])
+            if having_fn is not None:
+                batch = apply_batch_predicates(batch, [having_fn], outers)
+                if batch.n == 0:
+                    continue
+            value_columns = [fn(batch, outers) for fn in item_fns]
+            values_rows = list(zip(*value_columns))
+            if order_fns:
+                key_columns = [fn(batch, outers) for fn, _ in order_fns]
+                keys_rows = list(zip(*key_columns))
+            else:
+                keys_rows = [()] * batch.n
+            projected.extend(zip(values_rows, keys_rows))
+        return projected
 
     def _run_plain(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
         item_fns = self._item_fns

@@ -85,6 +85,21 @@ class Function:
             self.stats.executions += 1
         return self._execute(args, context), 1
 
+    def add_memo_hits(self, count: int) -> None:
+        """Account ``count`` memo hits in one lock acquisition.
+
+        The vectorized executor deduplicates ``(function, args)`` keys inside
+        a batch and calls :meth:`invoke` once per *distinct* key; the
+        duplicate occurrences are still calls-that-hit-the-memo as far as the
+        paper's UDF-cache ablation is concerned, so they are bulk-counted
+        here to keep the counters identical to row-at-a-time execution.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.stats.calls += count
+            self.stats.cache_hits += count
+
     def _execute(self, args: Sequence[Any], context) -> Any:
         raise NotImplementedError
 
@@ -230,10 +245,22 @@ BUILTIN_SCALARS: dict[str, Callable[..., Any]] = {
 
 
 class Aggregate:
-    """Streaming accumulator interface for SQL aggregate functions."""
+    """Streaming accumulator interface for SQL aggregate functions.
+
+    :meth:`add_many` is the vectorized entry point: one call folds a whole
+    column into the accumulator.  Every override applies values in column
+    order with the exact per-element arithmetic of :meth:`add` — in
+    particular floats accumulate by the same sequence of binary additions —
+    so batch and row execution produce bit-identical results.
+    """
 
     def add(self, value: Any) -> None:
         raise NotImplementedError
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        """Fold a column of values into the accumulator (batch hot path)."""
+        for value in values:
+            self.add(value)
 
     def result(self) -> Any:
         raise NotImplementedError
@@ -248,6 +275,16 @@ class CountAggregate(Aggregate):
         if self._count_star or value is not None:
             self._count += 1
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        if self._count_star:
+            self._count += len(values)
+            return
+        self._count += sum(1 for value in values if value is not None)
+
+    def add_count(self, count: int) -> None:
+        """Count ``count`` rows at once (COUNT(*) over a batch needs no column)."""
+        self._count += count
+
     def result(self) -> int:
         return self._count
 
@@ -260,6 +297,13 @@ class SumAggregate(Aggregate):
         if value is None:
             return
         self._total = value if self._total is None else self._total + value
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        total = self._total
+        for value in values:
+            if value is not None:
+                total = value if total is None else total + value
+        self._total = total
 
     def result(self) -> Any:
         return self._total
@@ -275,6 +319,16 @@ class AvgAggregate(Aggregate):
             return
         self._total += value
         self._count += 1
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        total = self._total
+        count = self._count
+        for value in values:
+            if value is not None:
+                total += value
+                count += 1
+        self._total = total
+        self._count = count
 
     def result(self) -> Any:
         if self._count == 0:
@@ -292,6 +346,13 @@ class MinAggregate(Aggregate):
         if self._value is None or value < self._value:
             self._value = value
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        best = self._value
+        for value in values:
+            if value is not None and (best is None or value < best):
+                best = value
+        self._value = best
+
     def result(self) -> Any:
         return self._value
 
@@ -305,6 +366,13 @@ class MaxAggregate(Aggregate):
             return
         if self._value is None or value > self._value:
             self._value = value
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        best = self._value
+        for value in values:
+            if value is not None and (best is None or value > best):
+                best = value
+        self._value = best
 
     def result(self) -> Any:
         return self._value
@@ -325,6 +393,16 @@ class DistinctAggregate(Aggregate):
             return
         self._seen.add(value)
         self._inner.add(value)
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        seen = self._seen
+        inner_add = self._inner.add
+        for value in values:
+            if value is None:
+                inner_add(value)
+            elif value not in seen:
+                seen.add(value)
+                inner_add(value)
 
     def result(self) -> Any:
         return self._inner.result()

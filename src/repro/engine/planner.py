@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import ExecutionError
 from ..sql import ast
+from .config import DEFAULT_BATCH_SIZE
 from .expressions import (
     CompiledExpr,
     ExpressionCompiler,
@@ -30,9 +31,21 @@ from .expressions import (
     contains_subquery,
     referenced_columns,
 )
+from .vector import (
+    BatchExpressionCompiler,
+    BatchKernel,
+    RowBatch,
+    apply_batch_predicates,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import ExecutionContext, PreparedSelect
+
+
+def _chunked(rows: list[tuple], batch_size: int):
+    """Slice a row list into bounded windows (the streaming batch currency)."""
+    for start in range(0, len(rows), batch_size):
+        yield rows[start : start + batch_size]
 
 
 class _OuterSentinel:
@@ -54,11 +67,28 @@ class SourcePlan:
         self.schema = schema
         self.bindings = bindings
         self._filters: list[CompiledExpr] = []
+        # pushed-down predicates compiled as batch kernels (vectorized mode);
+        # a plan populates exactly one of the two lists
+        self._batch_filters: list[BatchKernel] = []
 
     def add_filter(self, predicate: CompiledExpr) -> None:
         self._filters.append(predicate)
 
-    def _apply_filters(self, rows: list[tuple], outers: tuple) -> list[tuple]:
+    def add_batch_filter(self, kernel: BatchKernel) -> None:
+        self._batch_filters.append(kernel)
+
+    def _apply_filters(
+        self,
+        rows: list[tuple],
+        outers: tuple,
+        col_source=None,
+    ) -> list[tuple]:
+        if self._batch_filters:
+            batch = apply_batch_predicates(
+                RowBatch(rows, col_source), self._batch_filters, outers
+            )
+            # never hand out the caller's own list (table heaps are shared)
+            return list(batch.rows) if batch.rows is rows else batch.rows
         if not self._filters:
             return rows
         filters = self._filters
@@ -110,9 +140,13 @@ class TableSource(SourcePlan):
             column_index, value_fn = self._key_lookup
             value = value_fn((), outers)
             candidates = self._hash_index(column_index).get(value, [])
-        else:
-            candidates = self.table.rows
-        return self._apply_filters(list(candidates), outers)
+            return self._apply_filters(list(candidates), outers)
+        # full scan: batch kernels read the table's version-cached column
+        # arrays directly instead of gathering per query
+        filtered = self._apply_filters(
+            self.table.rows, outers, col_source=self.table.column_array
+        )
+        return list(filtered) if filtered is self.table.rows else filtered
 
     def _hash_index(self, column_index: int) -> dict:
         cache = getattr(self.table, "_planner_indexes", None)
@@ -231,21 +265,35 @@ class _JoinStep:
 
 
 class JoinPipeline:
-    """Executes the planned sequence of scans, hash joins and residual filters."""
+    """Executes the planned sequence of scans, hash joins and residual filters.
+
+    In vectorized mode (``vectorized=True``) the probe/build key functions
+    and residual filters are batch kernels: join keys are computed as key
+    *columns* over whole row windows, residuals via
+    :func:`~repro.engine.vector.apply_batch_predicates`.  The streaming
+    spine is :meth:`iter_batches`, which emits bounded row chunks
+    (``batch_size`` rows) so ``LIMIT`` consumers touch O(batch) rows.
+    """
 
     def __init__(
         self,
         first: SourcePlan,
         steps: list[_JoinStep],
-        final_residuals: list[CompiledExpr],
+        final_residuals: list,
         schema: list[tuple[Optional[str], str]],
+        vectorized: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self._first = first
         self._steps = steps
         self._final_residuals = final_residuals
         self.schema = schema
+        self._vectorized = vectorized
+        self._batch_size = batch_size
 
     def execute(self, outers: tuple) -> list[tuple]:
+        if self._vectorized:
+            return self._execute_vectorized(outers)
         current = self._first.rows(outers)
         for step in self._steps:
             if not current:
@@ -259,6 +307,59 @@ class JoinPipeline:
                 if all(predicate(row, outers) is True for predicate in residuals)
             ]
         return current
+
+    def _execute_vectorized(self, outers: tuple) -> list[tuple]:
+        current = self._first.rows(outers)
+        for step in self._steps:
+            if not current:
+                return []
+            current = self._execute_step_batch(step, current, outers)
+        if self._final_residuals and current:
+            current = apply_batch_predicates(
+                RowBatch(current), self._final_residuals, outers
+            ).rows
+        return current
+
+    @staticmethod
+    def _join_keys(fns: list, rows: list[tuple], outers: tuple):
+        """Key-per-row list for a hash-join side, computed columnwise."""
+        batch = RowBatch(rows)
+        columns = [fn(batch, outers) for fn in fns]
+        if len(columns) == 1:
+            return columns[0]
+        return list(zip(*columns))
+
+    @staticmethod
+    def _execute_step_batch(
+        step: _JoinStep, current: list[tuple], outers: tuple
+    ) -> list[tuple]:
+        new_rows = step.source.rows(outers)
+        joined: list[tuple] = []
+        if step.probe_fns:
+            table: dict = {}
+            for row, key in zip(new_rows, JoinPipeline._join_keys(step.build_fns, new_rows, outers)):
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+            get = table.get
+            for left_row, key in zip(
+                current, JoinPipeline._join_keys(step.probe_fns, current, outers)
+            ):
+                bucket = get(key)
+                if bucket:
+                    for right_row in bucket:
+                        joined.append(left_row + right_row)
+        else:
+            for left_row in current:
+                for right_row in new_rows:
+                    joined.append(left_row + right_row)
+        if step.residuals and joined:
+            joined = apply_batch_predicates(
+                RowBatch(joined), step.residuals, outers
+            ).rows
+        return joined
 
     def iter_rows(self, outers: tuple):
         """Yield joined rows lazily along the pipeline's left spine.
@@ -281,6 +382,67 @@ class JoinPipeline:
                 if all(predicate(row, outers) is True for predicate in residuals)
             )
         yield from current
+
+    def iter_batches(self, outers: tuple, batch_size: Optional[int] = None):
+        """Yield joined rows lazily as bounded chunks (vectorized streaming).
+
+        The batch analogue of :meth:`iter_rows`: each source still
+        materializes its own (filtered) scan and each join step builds its
+        hash table when first pulled, but left rows flow through the spine
+        ``batch_size`` at a time and every yielded chunk is re-bounded to at
+        most ``batch_size`` rows — an early-``LIMIT`` consumer therefore
+        materializes O(batch) rows, never the join output.
+        """
+        size = batch_size or self._batch_size
+        current = _chunked(self._first.rows(outers), size)
+        for step in self._steps:
+            current = self._iter_step_batch(step, current, outers, size)
+        for chunk in current:
+            if self._final_residuals:
+                chunk = apply_batch_predicates(
+                    RowBatch(chunk), self._final_residuals, outers
+                ).rows
+            if chunk:
+                yield chunk
+
+    @staticmethod
+    def _iter_step_batch(step: _JoinStep, current, outers: tuple, batch_size: int):
+        table: Optional[dict] = None
+        new_rows: list[tuple] = []
+        for chunk in current:
+            if table is None:
+                # built on first demand, exactly like the row-mode spine
+                new_rows = step.source.rows(outers)
+                table = {}
+                if step.probe_fns:
+                    for row, key in zip(
+                        new_rows, JoinPipeline._join_keys(step.build_fns, new_rows, outers)
+                    ):
+                        bucket = table.get(key)
+                        if bucket is None:
+                            table[key] = [row]
+                        else:
+                            bucket.append(row)
+            joined: list[tuple] = []
+            if step.probe_fns:
+                get = table.get
+                for left_row, key in zip(
+                    chunk, JoinPipeline._join_keys(step.probe_fns, chunk, outers)
+                ):
+                    bucket = get(key)
+                    if bucket:
+                        for right_row in bucket:
+                            joined.append(left_row + right_row)
+            else:
+                for left_row in chunk:
+                    for right_row in new_rows:
+                        joined.append(left_row + right_row)
+            if step.residuals and joined:
+                joined = apply_batch_predicates(
+                    RowBatch(joined), step.residuals, outers
+                ).rows
+            # one-to-many joins can fan a chunk out past the bound; re-slice
+            yield from _chunked(joined, batch_size)
 
     @staticmethod
     def _iter_step(step: _JoinStep, current, outers: tuple):
@@ -367,6 +529,10 @@ class EmptyPipeline:
         """The single empty row, as a (trivially lazy) iterator."""
         yield ()
 
+    def iter_batches(self, outers: tuple, batch_size: Optional[int] = None):
+        """The single empty row as a one-row batch."""
+        yield [()]
+
     def children(self) -> list["PreparedSelect"]:
         return []
 
@@ -393,6 +559,9 @@ class Planner:
         self._parent_scope = parent_scope
         self.created_scopes: list[Scope] = []
         self._binding_columns: dict[str, set[str]] = {}
+        vector = context.database.vector
+        self._vectorized = vector.enabled
+        self._batch_size = vector.batch_size
 
     def _new_scope(self, columns: list[tuple[Optional[str], str]]) -> Scope:
         scope = Scope(columns, parent=self._parent_scope)
@@ -401,6 +570,20 @@ class Planner:
 
     def _compiler(self, columns: list[tuple[Optional[str], str]]) -> ExpressionCompiler:
         return ExpressionCompiler(self._new_scope(columns), self._context)
+
+    def _mode_compiler(self, columns: list[tuple[Optional[str], str]]):
+        """The compiler matching the execution mode: batch kernels when
+        vectorized, row closures otherwise (same scope bookkeeping)."""
+        if self._vectorized:
+            return BatchExpressionCompiler(self._new_scope(columns), self._context)
+        return ExpressionCompiler(self._new_scope(columns), self._context)
+
+    def _add_filter(self, source: SourcePlan, compiled) -> None:
+        """Attach a compiled predicate in the slot matching its mode."""
+        if self._vectorized:
+            source.add_batch_filter(compiled)
+        else:
+            source.add_filter(compiled)
 
     # -- public API ----------------------------------------------------------
 
@@ -593,11 +776,11 @@ class Planner:
     # -- push-down ---------------------------------------------------------------
 
     def _apply_pushdown(self, source: SourcePlan, predicates: list[ast.Expression]) -> None:
-        compiler = self._compiler(source.schema)
+        compiler = self._mode_compiler(source.schema)
         for predicate in predicates:
             if isinstance(source, TableSource) and self._try_key_lookup(source, predicate):
                 continue
-            source.add_filter(compiler.compile_predicate(predicate))
+            self._add_filter(source, compiler.compile_predicate(predicate))
 
     def _try_key_lookup(self, source: TableSource, predicate: ast.Expression) -> bool:
         if source.has_key_lookup:
@@ -658,9 +841,9 @@ class Planner:
 
         pending_residuals, immediate = self._split_ready(pending_residuals, placed_bindings)
         if immediate:
-            compiler = self._compiler(placed_schema)
+            compiler = self._mode_compiler(placed_schema)
             for predicate in immediate:
-                first.add_filter(compiler.compile_predicate(predicate))
+                self._add_filter(first, compiler.compile_predicate(predicate))
 
         while remaining:
             chosen_index = 0
@@ -673,10 +856,10 @@ class Planner:
             for edge in edges:
                 unused_edges.remove(edge)
 
-            probe_fns: list[CompiledExpr] = []
-            build_fns: list[CompiledExpr] = []
-            current_compiler = self._compiler(placed_schema)
-            candidate_compiler = self._compiler(candidate.schema)
+            probe_fns: list = []
+            build_fns: list = []
+            current_compiler = self._mode_compiler(placed_schema)
+            candidate_compiler = self._mode_compiler(candidate.schema)
             for left_bindings, left_expr, right_bindings, right_expr in edges:
                 if left_bindings <= placed_bindings:
                     probe_fns.append(current_compiler.compile(left_expr))
@@ -695,20 +878,27 @@ class Planner:
                 pending_residuals.append(ast.BinaryOp("=", edge[1], edge[3]))
 
             pending_residuals, ready = self._split_ready(pending_residuals, placed_bindings)
-            residual_fns: list[CompiledExpr] = []
+            residual_fns: list = []
             if ready:
-                combined_compiler = self._compiler(placed_schema)
+                combined_compiler = self._mode_compiler(placed_schema)
                 residual_fns = [combined_compiler.compile_predicate(predicate) for predicate in ready]
             steps.append(_JoinStep(candidate, probe_fns, build_fns, residual_fns))
 
-        final_residuals: list[CompiledExpr] = []
+        final_residuals: list = []
         leftover = pending_residuals + [
             ast.BinaryOp("=", edge[1], edge[3]) for edge in unused_edges
         ]
         if leftover:
-            final_compiler = self._compiler(placed_schema)
+            final_compiler = self._mode_compiler(placed_schema)
             final_residuals = [final_compiler.compile_predicate(predicate) for predicate in leftover]
-        return JoinPipeline(first, steps, final_residuals, placed_schema)
+        return JoinPipeline(
+            first,
+            steps,
+            final_residuals,
+            placed_schema,
+            vectorized=self._vectorized,
+            batch_size=self._batch_size,
+        )
 
     def _split_ready(
         self, residuals: list[ast.Expression], placed_bindings: set[str]

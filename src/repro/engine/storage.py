@@ -75,11 +75,31 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self.rows: list[tuple] = []
-        #: bumped on every mutation; planners use it to invalidate hash indexes
+        #: bumped on every mutation; planners use it to invalidate hash
+        #: indexes, and column_array() to invalidate cached column slices
         self.version = 0
+        self._column_cache: dict[int, list] = {}
+        self._column_cache_version = -1
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def column_array(self, index: int) -> list:
+        """The full column at ``index`` as a list, cached per table version.
+
+        The vectorized executor reads table data column-wise; gathering a
+        column once per mutation epoch (instead of once per query) makes
+        repeated scans of a stable table allocation-free.  Any mutation bumps
+        ``version`` and the next call rebuilds the requested column.
+        """
+        if self._column_cache_version != self.version:
+            self._column_cache = {}
+            self._column_cache_version = self.version
+        column = self._column_cache.get(index)
+        if column is None:
+            column = [row[index] for row in self.rows]
+            self._column_cache[index] = column
+        return column
 
     def insert_row(self, values: Sequence[Any]) -> None:
         """Insert a full row (values in schema column order)."""

@@ -220,12 +220,45 @@ ExecuteResult = Union[QueryResult, StatementResult]
 
 
 @dataclass
+class OperatorProfile:
+    """Accumulated execution profile of one plan operator.
+
+    Filled by the engine's executor as batches (or rows, in row-at-a-time
+    mode) flow through an operator; rendered by ``MTConnection.explain()``
+    next to the compile-side per-pass timings so compile cost and execution
+    cost are separable at a glance.
+    """
+
+    operator: str
+    batches: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    @property
+    def rows_per_batch(self) -> float:
+        """Mean rows per batch (0.0 before any batch was recorded)."""
+        if self.batches == 0:
+            return 0.0
+        return self.rows / self.batches
+
+    def describe(self) -> str:
+        """One human-readable profile line."""
+        return (
+            f"{self.operator}: {self.rows} rows in {self.batches} batches "
+            f"(avg {self.rows_per_batch:.1f} rows/batch, {self.seconds * 1000:.3f} ms)"
+        )
+
+
+@dataclass
 class ExecutionStats:
     """Statement-level counters surfaced to tests and the benchmark harness.
 
     Counters are incremented through :meth:`add` so that concurrent sessions
     (the gateway runs many threads against one backend) do not lose updates
-    to read-modify-write races.
+    to read-modify-write races.  Besides the scalar counters, the engine
+    records a per-operator execution profile (batch counts, row counts,
+    wall time) via :meth:`record_operator`; :meth:`operator_snapshot` hands
+    consumers a stable copy.
     """
 
     udf_calls: int = 0
@@ -233,6 +266,7 @@ class ExecutionStats:
     udf_cache_hits: int = 0
     subquery_runs: int = 0
     statements: int = 0
+    operator_profiles: dict = field(default_factory=dict, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -251,11 +285,42 @@ class ExecutionStats:
             self.udf_executions += executed
             self.udf_cache_hits += 1 - executed
 
+    def record_operator(
+        self, operator: str, rows: int, seconds: float, batches: int = 1
+    ) -> None:
+        """Fold one measurement into an operator's profile.
+
+        ``batches`` carries the number of bounded windows the operator
+        consumed (1 for row-at-a-time or single-batch stages).
+        """
+        with self._lock:
+            profile = self.operator_profiles.get(operator)
+            if profile is None:
+                profile = OperatorProfile(operator=operator)
+                self.operator_profiles[operator] = profile
+            profile.batches += batches
+            profile.rows += rows
+            profile.seconds += seconds
+
+    def operator_snapshot(self) -> list[OperatorProfile]:
+        """A point-in-time copy of the operator profiles (insertion order)."""
+        with self._lock:
+            return [
+                OperatorProfile(
+                    operator=profile.operator,
+                    batches=profile.batches,
+                    rows=profile.rows,
+                    seconds=profile.seconds,
+                )
+                for profile in self.operator_profiles.values()
+            ]
+
     def reset(self) -> None:
-        """Zero every counter (between benchmark runs)."""
+        """Zero every counter and drop operator profiles (between runs)."""
         with self._lock:
             self.udf_calls = 0
             self.udf_executions = 0
             self.udf_cache_hits = 0
             self.subquery_runs = 0
             self.statements = 0
+            self.operator_profiles = {}

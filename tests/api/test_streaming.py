@@ -1,10 +1,12 @@
 """Streaming acceptance: first rows without materializing the result set.
 
 The proof strategy is a counting UDF in the SELECT list: the projection runs
-once per *produced* row, so if ``fetchmany`` returns the first rows while the
-counter is far below the table's row count, the backend demonstrably did not
-materialize the result.  Covered: the engine's lazy pipeline, SQLite's
-incremental cursor, the cluster's single-shard fast path delegation, plus the
+once per *produced* row (row mode) or once per row of a *pulled batch*
+(vectorized mode, ``REPRO_ENGINE_BATCH`` rows at a time), so if ``fetchmany``
+returns the first rows while the counter is at most one batch — far below
+the table's row count — the backend demonstrably did not materialize the
+result.  Covered: the engine's lazy pipeline, SQLite's incremental cursor,
+the cluster's single-shard fast path delegation, plus the
 :class:`~repro.result.RowStream` container semantics and the lazy
 ``iter_dicts`` protocol.
 """
@@ -40,7 +42,11 @@ def _loaded(connection) -> None:
     )
 
 
-def test_engine_fetchmany_is_row_at_a_time():
+BATCH = 64
+
+
+def test_engine_fetchmany_is_batch_bounded(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BATCH", str(BATCH))
     backend = EngineBackend()
     probe = _Probe()
     backend.connect().register_python_function("probe", probe)
@@ -49,14 +55,16 @@ def test_engine_fetchmany_is_row_at_a_time():
         cursor = connection.cursor()
         cursor.execute("SELECT probe(a) FROM t")
         assert cursor.fetchmany(3) == [(0,), (1,), (2,)]
-        # the engine's lazy pipeline evaluated exactly the fetched rows
-        assert probe.calls == 3
+        # the engine's lazy pipeline evaluated at most one pulled batch
+        # (exactly the fetched rows in row-at-a-time mode)
+        assert probe.calls <= BATCH
         assert cursor.fetchall() == [(index,) for index in range(3, ROWS)]
         assert probe.calls == ROWS
         assert cursor.rowcount == ROWS
 
 
-def test_engine_limit_stops_the_pull_early():
+def test_engine_limit_stops_the_pull_early(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BATCH", str(BATCH))
     backend = EngineBackend()
     probe = _Probe()
     backend.connect().register_python_function("probe", probe)
@@ -65,7 +73,8 @@ def test_engine_limit_stops_the_pull_early():
         cursor = connection.cursor()
         cursor.execute("SELECT probe(a) FROM t LIMIT 5")
         assert cursor.fetchall() == [(index,) for index in range(5)]
-        assert probe.calls == 5
+        # LIMIT 5 touched at most one batch, not the 600-row table
+        assert probe.calls <= BATCH
 
 
 def test_sqlite_fetchmany_pulls_incremental_batches():

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import MergeEvaluator, merge_partial_rows, sort_rows
+from repro.cluster import BatchMergeEvaluator, MergeEvaluator, merge_partial_rows, sort_rows
 from repro.cluster.merge import default_scalar_functions
+from repro.engine.vector import RowBatch
 from repro.errors import ExecutionError
 from repro.sql.parser import parse_query
 from repro.sql.transform import (
@@ -104,6 +105,71 @@ class TestMergeEvaluator:
         query = parse_query("SELECT mystery(1) FROM t")
         with pytest.raises(ExecutionError, match="cannot evaluate"):
             MergeEvaluator({}).evaluate(query.items[0].expr)
+
+
+class TestBatchMergeEvaluator:
+    """The vectorized merge path mirrors :class:`MergeEvaluator` per column."""
+
+    def _column(self, sql, bindings_rows, binding_texts, aliases=(), functions=None):
+        query = parse_query(f"SELECT {sql} FROM t")
+        evaluator = BatchMergeEvaluator(
+            binding_texts, alias_names=aliases, functions=functions or {}
+        )
+        kernel = evaluator.compile(query.items[0].expr)
+        return kernel(RowBatch(bindings_rows), ())
+
+    def test_compiled_kernel_evaluates_all_groups_at_once(self):
+        column = self._column(
+            "SUM(a) / SUM(b)",
+            [(10.0, 4.0), (9.0, 3.0), (1.0, 2.0)],
+            ["SUM(a)", "SUM(b)"],
+        )
+        assert column == [2.5, 3.0, 0.5]
+
+    def test_matches_row_evaluator_on_mixed_expressions(self):
+        functions = default_scalar_functions()
+        texts = ["g", "SUM(a)", "COUNT(a)"]
+        rows = [(1, 10.0, 4), (2, None, 0), (3, -2.5, 1)]
+        for sql in (
+            "CASE WHEN SUM(a) > 5 THEN 'big' ELSE 'small' END",
+            "COALESCE(SUM(a), 0) + COUNT(a)",
+            "g * 2 - COUNT(a)",
+            "SUM(a) IS NULL",
+            "SUM(a) BETWEEN 0 AND 100",
+            "g IN (1, 3)",
+            "NOT (COUNT(a) > 2)",
+        ):
+            query = parse_query(f"SELECT {sql} FROM t")
+            expr = query.items[0].expr
+            batch_column = self._column(sql, rows, texts, functions=functions)
+            row_values = [
+                MergeEvaluator(dict(zip(texts, row)), functions=functions).evaluate(expr)
+                for row in rows
+            ]
+            assert batch_column == row_values, sql
+
+    def test_alias_columns_resolve_in_having_position(self):
+        query = parse_query(
+            "SELECT SUM(a) AS total FROM t GROUP BY g HAVING total > 3"
+        )
+        evaluator = BatchMergeEvaluator(["g", "SUM(a)"], alias_names=["total"])
+        kernel = evaluator.compile(query.having)
+        # batch rows: bindings then alias values
+        assert kernel(RowBatch([(1, 7.0, 7.0), (2, 1.0, 1.0)]), ()) == [True, False]
+
+    def test_unknown_function_falls_back_to_the_row_error(self):
+        query = parse_query("SELECT mystery(SUM(a)) FROM t")
+        evaluator = BatchMergeEvaluator(["SUM(a)"])
+        kernel = evaluator.compile(query.items[0].expr)
+        with pytest.raises(ExecutionError, match="cannot evaluate"):
+            kernel(RowBatch([(1.0,)]), ())
+
+    def test_unbound_column_falls_back_to_the_row_error(self):
+        query = parse_query("SELECT stray FROM t")
+        evaluator = BatchMergeEvaluator(["SUM(a)"])
+        kernel = evaluator.compile(query.items[0].expr)
+        with pytest.raises(ExecutionError, match="unbound merge column"):
+            kernel(RowBatch([(1.0,)]), ())
 
 
 class TestSortRows:

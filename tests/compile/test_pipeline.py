@@ -155,6 +155,25 @@ class TestExplain:
         text = connection.explain(AGGREGATE_QUERY).render(include_sql=False)
         assert "-- after" not in text
         assert "canonical" in text
+        # compile-only reports carry no execution section
+        assert "execution profile" not in text
+
+    def test_explain_analyze_reports_operator_profiles(self, paper_mt):
+        """``analyze=True`` executes once and renders the per-operator
+        execution profile next to the per-pass compile timings."""
+        connection = connection_at(paper_mt, "o4")
+        report = connection.explain(AGGREGATE_QUERY, analyze=True)
+        assert report.operators is not None
+        operators = {profile.operator for profile in report.operators}
+        assert "scan+join" in operators
+        for profile in report.operators:
+            assert profile.rows >= 0 and profile.batches >= 1
+            assert profile.seconds >= 0.0
+        text = report.render(include_sql=False)
+        assert "execution profile (one analyzed run):" in text
+        assert "scan+join" in text
+        # both cost sides are in one printout
+        assert "stage" in text and "rows/batch" in text
 
 
 class TestDialectArguments:

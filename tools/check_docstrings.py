@@ -63,6 +63,8 @@ PUBLIC_MODULES = (
     "repro/server/server.py",
     "repro/server/client.py",
     "repro/server/loopback.py",
+    "repro/engine/config.py",
+    "repro/engine/vector.py",
     "repro/mth/loader.py",
     "repro/bench/workload.py",
     "repro/bench/sharding.py",
