@@ -33,6 +33,7 @@ from ..sql.types import Date
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compile.artifact import CompiledQuery
+    from ..compile.stats import StatisticsCatalog
 
 Statement = Union[str, ast.Statement]
 
@@ -174,6 +175,26 @@ class BackendConnection(abc.ABC):
         """
 
     # -- statistics / caches -------------------------------------------------
+
+    def collect_statistics(self) -> "StatisticsCatalog":
+        """Scan every base table into a fresh
+        :class:`~repro.compile.stats.StatisticsCatalog` and cache it.
+
+        The middleware calls this once after bulk load; afterwards
+        :meth:`statistics` serves the cached catalog, refreshing individual
+        tables lazily once enough DML has accumulated.  The base
+        implementation collects nothing — backends without a costed planner
+        may stay statistics-free.
+        """
+        from ..compile.stats import StatisticsCatalog
+
+        return StatisticsCatalog()
+
+    def statistics(self) -> "StatisticsCatalog":
+        """The current (possibly lazily refreshed) statistics catalog."""
+        from ..compile.stats import StatisticsCatalog
+
+        return StatisticsCatalog()
 
     def reset_stats(self) -> None:
         """Zero the statement/UDF counters (between benchmark runs)."""

@@ -24,6 +24,7 @@ from .base import Backend, BackendConnection, Statement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compile.artifact import CompiledQuery
+    from ..compile.stats import StatisticsCatalog
 
 
 class EngineConnection(BackendConnection):
@@ -120,6 +121,25 @@ class EngineConnection(BackendConnection):
         return self._database.check_integrity()
 
     # -- statistics / caches -------------------------------------------------
+
+    def register_partitioned_table(
+        self,
+        table_name: str,
+        ttid_column: str,
+        local_key_columns: Sequence[str] = (),
+    ) -> None:
+        """Record the tenant column so statistics gain per-tenant histograms."""
+        self._database.register_partitioned_table(
+            table_name, ttid_column, local_key_columns
+        )
+
+    def collect_statistics(self) -> "StatisticsCatalog":
+        """Scan every engine table into fresh planner statistics."""
+        return self._database.collect_statistics()
+
+    def statistics(self) -> "StatisticsCatalog":
+        """The engine's current (lazily refreshed) statistics catalog."""
+        return self._database.statistics()
 
     def reset_stats(self) -> None:
         """Zero the engine's statement/UDF counters."""

@@ -39,12 +39,15 @@ from ..cluster.planner import (
     Plan,
     SingleShardPlan,
 )
+from ..compile.cost import CostConfig, TablePrefilter
+from ..compile.stats import StatisticsCatalog, merge_catalogs
 from ..errors import ClusterError
 from ..result import ExecuteResult, ExecutionStats, RowStream, StatementResult
 from ..sql import ast
 from ..sql.dialect import Dialect
 from ..sql.params import bind_parameters, statement_parameters
 from ..sql.parser import parse_statement
+from ..sql.types import Date
 from .base import Backend, BackendConnection, Statement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +60,25 @@ class _TableSchema:
 
     name: str
     columns: tuple[str, ...]
+    column_defs: tuple[ast.ColumnDef, ...] = ()
+
+    def placeholder(self, column: ast.ColumnDef) -> Any:
+        """A type-appropriate dummy for a column the pull projected away.
+
+        ``None`` for nullable columns; NOT NULL columns get a neutral value
+        of their declared type so the scratch insert passes its NOT NULL
+        check.  Unreferenced by the query, the value is never observed.
+        """
+        if not column.not_null:
+            return None
+        type_name = column.type_name.upper()
+        if type_name.startswith(("INT", "BIGINT", "SMALLINT", "DECIMAL", "NUMERIC")):
+            return 0
+        if type_name.startswith(("FLOAT", "DOUBLE", "REAL")):
+            return 0.0
+        if type_name.startswith("DATE"):
+            return Date(0)
+        return ""
 
 
 class _ClusterDialect:
@@ -94,10 +116,17 @@ class ShardedConnection(BackendConnection):
         self.stats = ExecutionStats()
         self.catalog = ClusterCatalog()
         self._merge_functions = default_scalar_functions()
+        #: physical column order per table, shared with the planner's cost
+        #: pass (maintained by :meth:`_execute_ddl`)
+        self._columns_of: dict[str, tuple[str, ...]] = {}
         self.planner = ClusterPlanner(
             self.catalog,
             scatter_gather=backend.scatter_gather,
             functions=self._merge_functions,
+            cost=CostConfig.from_env(),
+            columns_of=self._columns_of,
+            statistics_provider=self.statistics,
+            udf_statements_provider=self._sql_udf_statements,
         )
         self.coordinator = ShardCoordinator(
             self._shards, functions=self._merge_functions
@@ -110,11 +139,26 @@ class ShardedConnection(BackendConnection):
         self._ddl_log: list[ast.Statement] = []
         self._udf_log: list[tuple[str, str, Any, bool]] = []
         self._udf_support_tables: Optional[set[str]] = None
+        self._udf_statement_cache: Optional[tuple[ast.Select, ...]] = None
         self._scratch: Optional[BackendConnection] = None
         self._scratch_backend: Optional[Backend] = None
-        #: per-table scratch freshness: the D' it was last synced for
-        #: (``None`` = a full copy); absent = stale, must be re-pulled
-        self._scratch_state: dict[str, Optional[frozenset[int]]] = {}
+        #: per-table scratch freshness: ``(dataset, prefilter, columns)`` of
+        #: the last sync — dataset ``None`` = all tenants, prefilter ``None``
+        #: = unfiltered, columns ``None`` = full width; absent = stale.
+        #: A less restricted copy serves a more restricted request (see
+        #: :meth:`_scratch_serves`).
+        self._scratch_state: dict[
+            str,
+            tuple[
+                Optional[frozenset[int]], Optional[str], Optional[frozenset[str]]
+            ],
+        ] = {}
+        #: federated pull volume, for benchmarks: base rows / cells copied
+        #: from shards into the scratch backend, and how many of those table
+        #: syncs ran with a pushed-down prefilter
+        self.rows_pulled = 0
+        self.cells_pulled = 0
+        self.prefiltered_syncs = 0
         self._lock = threading.RLock()
 
     # -- shard access ---------------------------------------------------------
@@ -199,9 +243,16 @@ class ShardedConnection(BackendConnection):
         plan: Optional[Plan] = None
         memo_key = None
         if compiled is not None:
-            # the memo key pins the shard fan-out and the catalog version, so
-            # DDL (or a different D') can never resurrect a stale plan
-            memo_key = ("cluster-plan", id(self), tuple(shards), self.catalog.version)
+            # the memo key pins the shard fan-out, the catalog version and the
+            # cost switch, so DDL, a different D' or toggling the cost model
+            # can never resurrect a stale plan
+            memo_key = (
+                "cluster-plan",
+                id(self),
+                tuple(shards),
+                self.catalog.version,
+                self.planner.cost.enabled,
+            )
             with self._lock:
                 plan = compiled.attachments.get(memo_key)
                 if plan is not None:
@@ -253,12 +304,17 @@ class ShardedConnection(BackendConnection):
                 self._tables[statement.name.lower()] = _TableSchema(
                     name=statement.name,
                     columns=tuple(column.name for column in statement.columns),
+                    column_defs=tuple(statement.columns),
+                )
+                self._columns_of[statement.name.lower()] = tuple(
+                    column.name for column in statement.columns
                 )
                 self.catalog.add_relation(statement.name)
             elif isinstance(statement, ast.CreateView):
                 self.catalog.add_view(statement.name)
             elif isinstance(statement, ast.DropTable):
                 self._tables.pop(statement.name.lower(), None)
+                self._columns_of.pop(statement.name.lower(), None)
                 self.catalog.drop_relation(statement.name)
                 self._scratch_state.pop(statement.name.lower(), None)
             elif isinstance(statement, ast.DropView):
@@ -267,6 +323,7 @@ class ShardedConnection(BackendConnection):
                 # a SQL-bodied function reads tables the query text never
                 # names; recompute the federated sync set lazily
                 self._udf_support_tables = None
+                self._udf_statement_cache = None
             self._ddl_log.append(statement)
             result: ExecuteResult = StatementResult(type(statement).__name__)
             for shard in self._shards:
@@ -290,6 +347,12 @@ class ShardedConnection(BackendConnection):
                     local_keys=frozenset(column.lower() for column in local_key_columns),
                 )
             )
+            # shards hear about the tenant column too, so their statistics
+            # carry the per-tenant row histograms the cost model reads
+            for shard in self._shards:
+                shard.register_partitioned_table(
+                    table_name, ttid_column, local_key_columns
+                )
 
     # -- DML ------------------------------------------------------------------
 
@@ -457,8 +520,20 @@ class ShardedConnection(BackendConnection):
                 # SQL-bodied UDFs (the Listings-4-7 conversion functions) read
                 # meta tables the query text never names; sync those too
                 tables = set(plan.tables) | self._sql_udf_tables()
+            prefilters = {
+                prefilter.table.lower(): prefilter for prefilter in plan.prefilters
+            }
+            pull_columns = {
+                table.lower(): columns for table, columns in plan.pull_columns
+            }
             for table in sorted(tables):
-                self._sync_scratch_table(scratch, table, dataset)
+                self._sync_scratch_table(
+                    scratch,
+                    table,
+                    dataset,
+                    prefilter=prefilters.get(table.lower()),
+                    columns=pull_columns.get(table.lower()),
+                )
             return scratch.execute(plan.statement, parameters=parameters)
 
     def _sql_udf_tables(self) -> set[str]:
@@ -484,6 +559,34 @@ class ShardedConnection(BackendConnection):
             self._udf_support_tables = support & self.catalog.relations
         return self._udf_support_tables
 
+    def _sql_udf_statements(self) -> tuple[ast.Select, ...]:
+        """Parsed SQL-UDF bodies, for the planner's projection pushdown.
+
+        Columns a UDF body reads never appear in the query text, so the
+        planner must treat them as referenced when deriving per-table pull
+        columns for federated plans.
+        """
+        if self._udf_statement_cache is None:
+            from ..sql.parser import parse_query
+
+            bodies = [
+                payload
+                for kind, _name, payload, _immutable in self._udf_log
+                if kind == "sql"
+            ]
+            bodies.extend(
+                statement.body
+                for statement in self._ddl_log
+                if isinstance(statement, ast.CreateFunction)
+                and statement.language.upper() == "SQL"
+            )
+            self._udf_statement_cache = tuple(
+                query
+                for query in (parse_query(body) for body in bodies)
+                if isinstance(query, ast.Select)
+            )
+        return self._udf_statement_cache
+
     def _ensure_scratch(self) -> BackendConnection:
         """The lazily-created merge backend, with the cluster's DDL/UDFs replayed."""
         if self._scratch is None:
@@ -507,32 +610,57 @@ class ShardedConnection(BackendConnection):
         scratch: BackendConnection,
         table: str,
         dataset: Optional[Sequence[int]],
+        prefilter: Optional[TablePrefilter] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> None:
         """Refresh one scratch table from the shards (``D'``-pruned when known).
 
-        Skipped when the previous sync still covers this request: a full copy
-        serves any ``D'`` (the federated statement carries its own ttid
-        predicates whenever ``D'`` is not "all tenants"), a pruned copy only
-        the identical one.  Mutations drop the entry via
+        The costed planner may narrow the pull further: ``prefilter`` is a
+        predicate every shard evaluates locally before shipping rows (sound
+        because the federated statement re-applies its own predicates on the
+        scratch copy), and ``columns`` is the column subset the statement
+        reads — unpulled columns are dummy-filled, never observed.
+
+        Skipped when the previous sync still covers this request
+        (:meth:`_scratch_serves`); mutations drop the entry via
         :meth:`_mark_scratch_stale`.
         """
         key = table.lower()
         info = self.catalog.partitioned.get(key)
-        want: Optional[frozenset[int]] = (
+        want_dataset: Optional[frozenset[int]] = (
             None
             if info is None or dataset is None
             else frozenset(int(ttid) for ttid in dataset)
         )
-        if key in self._scratch_state:
-            have = self._scratch_state[key]
-            if have is None or have == want:
-                return
+        want_filter = prefilter.predicate.to_sql() if prefilter is not None else None
+        schema = self._tables.get(key)
+        pulled: Optional[tuple[str, ...]] = None
+        if columns is not None and schema is not None and schema.column_defs:
+            wanted = {column.lower() for column in columns}
+            pulled = tuple(
+                column for column in schema.columns if column.lower() in wanted
+            )
+            if len(pulled) == len(schema.columns):
+                pulled = None  # nothing projected away: a full-width pull
+        want_columns = frozenset(c.lower() for c in pulled) if pulled else None
+        want = (want_dataset, want_filter, want_columns)
+        have = self._scratch_state.get(key)
+        if have is not None and self._scratch_serves(have, want):
+            return
         scratch.execute(ast.Delete(table=table))
+        items = (
+            [ast.SelectItem(expr=ast.Star())]
+            if pulled is None
+            else [ast.SelectItem(expr=ast.Column(name=column)) for column in pulled]
+        )
         pull: ast.Select = ast.Select(
-            items=[ast.SelectItem(expr=ast.Star())],
+            items=items,
             from_items=[ast.TableRef(name=table)],
         )
+        conjuncts: list[ast.Expression] = []
         if info is None:
+            if prefilter is not None:
+                pull.where = prefilter.predicate
             rows = list(self._shards[0].query(pull).rows)
         else:
             sources = (
@@ -541,16 +669,90 @@ class ShardedConnection(BackendConnection):
                 else self.placement.shards_for(dataset)
             )
             if dataset is not None:
-                pull.where = ast.InList(
-                    expr=ast.Column(name=info.ttid_column),
-                    items=tuple(ast.Literal(int(ttid)) for ttid in dataset),
+                conjuncts.append(
+                    ast.InList(
+                        expr=ast.Column(name=info.ttid_column),
+                        items=tuple(ast.Literal(int(ttid)) for ttid in dataset),
+                    )
                 )
+            if prefilter is not None:
+                conjuncts.append(prefilter.predicate)
+            if conjuncts:
+                pull.where = ast.and_(*conjuncts)
             rows = []
             for shard in sources:
                 rows.extend(self._shards[shard].query(pull).rows)
+        self.rows_pulled += len(rows)
+        width = len(pulled) if pulled is not None else (
+            len(schema.columns) if schema is not None else 0
+        )
+        self.cells_pulled += len(rows) * width
+        if prefilter is not None:
+            self.prefiltered_syncs += 1
+        if pulled is not None:
+            rows = self._widen_rows(schema, pulled, rows)
         if rows:
             scratch.insert_rows(table, rows)
         self._scratch_state[key] = want
+
+    @staticmethod
+    def _scratch_serves(
+        have: tuple[
+            Optional[frozenset[int]], Optional[str], Optional[frozenset[str]]
+        ],
+        want: tuple[
+            Optional[frozenset[int]], Optional[str], Optional[frozenset[str]]
+        ],
+    ) -> bool:
+        """Whether the scratch copy described by ``have`` covers ``want``.
+
+        Each dimension serves when the held copy is unrestricted (``None``)
+        or at least as wide: a full copy serves any ``D'``, an unfiltered
+        copy any prefilter (the statement re-applies its own predicates),
+        a full-width copy any column subset; a held column *superset* also
+        serves.  A held prefilter serves only the identical one — implication
+        between arbitrary predicates is not decided here.
+        """
+        have_dataset, have_filter, have_columns = have
+        want_dataset, want_filter, want_columns = want
+        if have_dataset is not None and have_dataset != want_dataset:
+            return False
+        if have_filter is not None and have_filter != want_filter:
+            return False
+        if have_columns is not None and (
+            want_columns is None or not want_columns <= have_columns
+        ):
+            return False
+        return True
+
+    def _widen_rows(
+        self,
+        schema: _TableSchema,
+        pulled: tuple[str, ...],
+        rows: list[tuple],
+    ) -> list[tuple]:
+        """Expand projected pull rows back to full schema width.
+
+        Projected-away columns get type-appropriate placeholders — the
+        federated statement never reads them, they only satisfy the scratch
+        table's arity and NOT NULL checks.
+        """
+        pulled_set = {column.lower() for column in pulled}
+        template: list[Any] = []
+        slots: list[int] = []
+        for index, column in enumerate(schema.column_defs):
+            if column.name.lower() in pulled_set:
+                template.append(None)
+                slots.append(index)
+            else:
+                template.append(schema.placeholder(column))
+        widened = []
+        for row in rows:
+            full = list(template)
+            for slot, value in zip(slots, row):
+                full[slot] = value
+            widened.append(tuple(full))
+        return widened
 
     def _mark_scratch_stale(self, table: str) -> None:
         """Force the next federated query to re-pull ``table``."""
@@ -582,7 +784,9 @@ class ShardedConnection(BackendConnection):
         """Register a SQL-bodied UDF on every shard (and the scratch backend)."""
         with self._lock:
             self._udf_log.append(("sql", name, body, immutable))
-            self._udf_support_tables = None  # recompute the sync set lazily
+            # recompute the federated sync set / pushdown inputs lazily
+            self._udf_support_tables = None
+            self._udf_statement_cache = None
             for shard in self._shards:
                 shard.register_sql_function(name, body, immutable=immutable)
             if self._scratch is not None:
@@ -633,6 +837,60 @@ class ShardedConnection(BackendConnection):
 
     # -- statistics / caches ---------------------------------------------------
 
+    def _replicated_relations(self) -> frozenset[str]:
+        """Relations replicated on every shard (everything not partitioned)."""
+        return frozenset(
+            name
+            for name in self.catalog.relations
+            if name not in self.catalog.partitioned
+        )
+
+    def collect_statistics(self) -> StatisticsCatalog:
+        """Freshly scan every shard and merge into cluster-wide statistics.
+
+        Partitioned tables merge additively across shards (each row lives on
+        exactly one shard); replicated tables take one shard's statistics
+        verbatim.
+        """
+        return merge_catalogs(
+            [shard.collect_statistics() for shard in self._shards],
+            replicated=self._replicated_relations(),
+        )
+
+    def statistics(self) -> StatisticsCatalog:
+        """Cluster-wide statistics from the shards' lazily refreshed catalogs."""
+        return merge_catalogs(
+            [shard.statistics() for shard in self._shards],
+            replicated=self._replicated_relations(),
+        )
+
+    def set_cost(self, enabled: bool) -> None:
+        """Switch cost-based planning on or off across the whole cluster.
+
+        Updates the cluster planner's config and forwards to every shard (and
+        the scratch backend) that supports the switch; memoized cluster plans
+        are keyed on the flag, so the change takes effect on the next query.
+        """
+        with self._lock:
+            self.planner.cost = CostConfig(
+                enabled=enabled,
+                prefilter_max_selectivity=self.planner.cost.prefilter_max_selectivity,
+            )
+            connections = list(self._shards)
+            if self._scratch is not None:
+                connections.append(self._scratch)
+            for connection in connections:
+                set_cost = getattr(connection, "set_cost", None)
+                if set_cost is not None:
+                    set_cost(enabled)
+
+    def reset_pull_counters(self) -> None:
+        """Zero the federated pull-volume counters (rows/cells/prefilters)."""
+        with self._lock:
+            self.rows_pulled = 0
+            self.cells_pulled = 0
+            self.prefiltered_syncs = 0
+
     def aggregate_stats(self) -> ExecutionStats:
         """Sum of the shard (and scratch) counters, as a plain snapshot."""
         total = ExecutionStats()
@@ -655,6 +913,7 @@ class ShardedConnection(BackendConnection):
         self.stats.reset()
         with self._lock:
             self.plan_reuses = 0
+        self.reset_pull_counters()
         self.planner.reset_stats()
         for shard in self._shards:
             shard.reset_stats()

@@ -35,6 +35,7 @@ import threading
 import weakref
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
+from ..compile.stats import RefreshPolicy, StatisticsCatalog, collect_table_stats
 from ..engine.database import PROFILES, BackendProfile
 from ..errors import BackendError, ExecutionError
 from ..result import (
@@ -133,6 +134,12 @@ class SQLiteConnection(BackendConnection):
         #: parsed CREATE TABLE statements, for bulk load and integrity checks
         self._tables: dict[str, ast.CreateTable] = {}
         self._functions: dict[str, _RegisteredFunction] = {}
+        # planner statistics: collected on demand, refreshed per table once
+        # enough DML has accumulated
+        self._statistics = StatisticsCatalog()
+        self._stat_mutations: dict[str, int] = {}
+        self._ttid_hints: dict[str, str] = {}
+        self._refresh_policy = RefreshPolicy()
         # temp-file databases must not outlive the connection: clean up when
         # the owner forgets to close() (GC or interpreter exit)
         self._finalizer = weakref.finalize(
@@ -166,7 +173,9 @@ class SQLiteConnection(BackendConnection):
                     cursor = self._main.execute(sql, parameters)
                 except sqlite3.Error as exc:
                     raise ExecutionError(f"sqlite {kind} failed: {exc}") from exc
-                return StatementResult(kind, rowcount=max(cursor.rowcount, 0))
+                count = max(cursor.rowcount, 0)
+                self._note_mutations(statement.table, count)
+                return StatementResult(kind, rowcount=count)
         with self._lock:
             self._ensure_open()
             self.stats.add(statements=1)
@@ -184,6 +193,8 @@ class SQLiteConnection(BackendConnection):
             if isinstance(statement, ast.DropTable):
                 self._main.execute(to_sql(statement, self.dialect))
                 self._tables.pop(statement.name.lower(), None)
+                self._statistics.drop(statement.name)
+                self._stat_mutations.pop(statement.name.lower(), None)
                 return StatementResult("DROP TABLE")
             if isinstance(statement, ast.DropView):
                 self._main.execute(to_sql(statement, self.dialect))
@@ -381,6 +392,7 @@ class SQLiteConnection(BackendConnection):
                 raise ExecutionError(
                     f"sqlite bulk load into {table_name!r} failed: {exc}"
                 ) from exc
+            self._note_mutations(table_name, len(rows))
             return len(rows)
 
     def table_rowcount(self, table_name: str) -> int:
@@ -449,6 +461,57 @@ class SQLiteConnection(BackendConnection):
         ]
 
     # -- statistics / caches -------------------------------------------------
+
+    def register_partitioned_table(
+        self,
+        table_name: str,
+        ttid_column: str,
+        local_key_columns: Sequence[str] = (),
+    ) -> None:
+        """Record the tenant column so statistics gain per-tenant histograms."""
+        self._ttid_hints[table_name.lower()] = ttid_column.lower()
+
+    def collect_statistics(self) -> StatisticsCatalog:
+        """Scan every recorded table into fresh planner statistics."""
+        with self._lock:
+            self._ensure_open()
+            for table in list(self._tables.values()):
+                self._collect_table(table)
+        return self._statistics
+
+    def statistics(self) -> StatisticsCatalog:
+        """The current statistics, refreshing tables made stale by DML."""
+        policy = self._refresh_policy
+        with self._lock:
+            self._ensure_open()
+            for name, table in list(self._tables.items()):
+                if policy.is_stale(
+                    self._statistics.table(name), self._stat_mutations.get(name, 0)
+                ):
+                    self._collect_table(table)
+        return self._statistics
+
+    def _collect_table(self, table: ast.CreateTable) -> None:
+        name = table.name.lower()
+        quoted = self.dialect.quote_identifier(table.name)
+        raw = self._main.execute(f"SELECT * FROM {quoted}").fetchall()
+        if self.convert_iso_dates:
+            rows = [tuple(_from_sqlite(value) for value in row) for row in raw]
+        else:
+            rows = [tuple(row) for row in raw]
+        self._statistics.put(
+            collect_table_stats(
+                name,
+                [column.name for column in table.columns],
+                rows,
+                ttid_column=self._ttid_hints.get(name),
+            )
+        )
+        self._stat_mutations[name] = 0
+
+    def _note_mutations(self, table_name: str, count: int) -> None:
+        name = table_name.lower()
+        self._stat_mutations[name] = self._stat_mutations.get(name, 0) + max(count, 0)
 
     def clear_function_caches(self) -> None:
         """Drop the memoized results of every registered immutable UDF."""

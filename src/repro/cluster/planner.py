@@ -46,6 +46,12 @@ from ..compile.analysis import (  # noqa: F401  (ClusterCatalog/PartitionInfo re
     QueryAnalysis,
     ShardabilityAnalyzer,
 )
+from ..compile.cost import (
+    CostConfig,
+    TablePrefilter,
+    derive_pull_columns,
+    derive_table_prefilters,
+)
 from ..errors import SplitError
 from ..sql import ast
 from ..sql.printer import to_sql
@@ -109,15 +115,37 @@ class FederatedPlan:
     ``tables`` lists the base tables to synchronize; ``None`` means the
     statement references a view or unknown relation, so every known table
     must be pulled.
+
+    The costed planner decorates the pull with two reductions (both empty in
+    uncosted mode, restoring the historic pull-everything behavior):
+
+    * ``prefilters`` — per-table predicates proven sound for *every*
+      occurrence of the table in the statement
+      (:func:`repro.compile.cost.derive_table_prefilters`), evaluated by the
+      shards at pull time so fewer rows ship;
+    * ``pull_columns`` — per-table column subsets covering every column the
+      statement (and the registered SQL UDF bodies) can reference, so
+      narrower rows ship.
     """
 
     statement: ast.Select
     tables: Optional[tuple[str, ...]]
+    prefilters: tuple[TablePrefilter, ...] = ()
+    pull_columns: tuple[tuple[str, tuple[str, ...]], ...] = ()
 
     def describe(self) -> str:
         """One-line plan summary for logs and examples."""
         pulled = "all" if self.tables is None else list(self.tables)
-        return f"federated(tables={pulled})"
+        parts = [f"tables={pulled}"]
+        if self.prefilters:
+            summary = ", ".join(prefilter.describe() for prefilter in self.prefilters)
+            parts.append(f"prefilter=[{summary}]")
+        if self.pull_columns:
+            narrowed = ", ".join(
+                f"{table}:{len(columns)}" for table, columns in self.pull_columns
+            )
+            parts.append(f"columns=[{narrowed}]")
+        return f"federated({', '.join(parts)})"
 
 
 Plan = Union[SingleShardPlan, RowStreamPlan, PartialAggregatePlan, FederatedPlan]
@@ -159,6 +187,10 @@ class ClusterPlanner:
         catalog: ClusterCatalog,
         scatter_gather: bool = True,
         functions: Optional[dict] = None,
+        cost: Optional[CostConfig] = None,
+        columns_of: Optional[dict] = None,
+        statistics_provider=None,
+        udf_statements_provider=None,
     ) -> None:
         self.catalog = catalog
         #: the shared shardability analysis, run only for bare statements
@@ -169,6 +201,18 @@ class ClusterPlanner:
         #: scalar functions the coordinator can evaluate post-merge (shared,
         #: mutable: the owning connection adds Python UDFs as they register)
         self.functions = functions if functions is not None else {}
+        #: cost-model configuration gating the federated pushdown derivation
+        self.cost = cost if cost is not None else CostConfig.from_env()
+        #: table → ordered column names (shared, mutable: the owning
+        #: connection records every CREATE TABLE); empty disables pushdown
+        self.columns_of = columns_of if columns_of is not None else {}
+        #: zero-argument callable returning the cluster's merged
+        #: StatisticsCatalog (or None), consulted per federated plan
+        self.statistics_provider = statistics_provider
+        #: zero-argument callable returning the parsed SELECT bodies of the
+        #: registered SQL UDFs — their column references must survive
+        #: projection pushdown because pull-time prefilters may call them
+        self.udf_statements_provider = udf_statements_provider
         #: analysis reuse counters (gateway sessions plan concurrently)
         self.stats = PlannerStats()
         self._stats_lock = threading.Lock()
@@ -235,7 +279,37 @@ class ClusterPlanner:
         return plan if plan is not None else self._federated(select, known)
 
     def _federated(self, select: ast.Select, tables: set[str]) -> FederatedPlan:
-        return FederatedPlan(statement=select, tables=tuple(sorted(tables)))
+        prefilters: tuple[TablePrefilter, ...] = ()
+        pull_columns: tuple[tuple[str, tuple[str, ...]], ...] = ()
+        if self.cost.enabled and self.columns_of:
+            statistics = (
+                self.statistics_provider() if self.statistics_provider else None
+            )
+            prefilters = derive_table_prefilters(
+                select,
+                self.catalog,
+                self.columns_of,
+                statistics=statistics,
+                config=self.cost,
+            )
+            statements = [select]
+            if self.udf_statements_provider is not None:
+                statements.extend(self.udf_statements_provider())
+            always_keep = {
+                table: (info.ttid_column,)
+                for table, info in self.catalog.partitioned.items()
+            }
+            pulls = derive_pull_columns(
+                statements, self.columns_of, always_keep=always_keep
+            )
+            if pulls:
+                pull_columns = tuple(sorted(pulls.items()))
+        return FederatedPlan(
+            statement=select,
+            tables=tuple(sorted(tables)),
+            prefilters=prefilters,
+            pull_columns=pull_columns,
+        )
 
     # -- scatter-gather strategies -------------------------------------------
 

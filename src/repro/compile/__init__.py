@@ -41,6 +41,23 @@ from .analysis import (
     StreamInfo,
 )
 from .artifact import CompiledQuery, ConversionCensus, PassRecord, conversion_census
+from .cost import (
+    CostConfig,
+    PlanEstimate,
+    TablePrefilter,
+    derive_pull_columns,
+    derive_table_prefilters,
+    estimate_select,
+    predicate_selectivity,
+)
+from .stats import (
+    ColumnStats,
+    RefreshPolicy,
+    StatisticsCatalog,
+    TableStats,
+    collect_table_stats,
+    merge_catalogs,
+)
 
 #: names resolved lazily: these submodules import repro.core, which imports
 #: repro.backends → repro.cluster → repro.compile.analysis; loading them
@@ -60,15 +77,28 @@ _LAZY_EXPORTS = {
 }
 
 __all__ = [
+    "ColumnStats",
     "CompiledQuery",
     "ClusterCatalog",
     "ConversionCensus",
+    "CostConfig",
     "PartitionInfo",
     "PassRecord",
+    "PlanEstimate",
     "QueryAnalysis",
+    "RefreshPolicy",
     "ShardabilityAnalyzer",
+    "StatisticsCatalog",
     "StreamInfo",
+    "TablePrefilter",
+    "TableStats",
+    "collect_table_stats",
     "conversion_census",
+    "derive_pull_columns",
+    "derive_table_prefilters",
+    "estimate_select",
+    "merge_catalogs",
+    "predicate_selectivity",
     *sorted(_LAZY_EXPORTS),
 ]
 

@@ -20,6 +20,7 @@ from ..result import OperatorProfile
 from ..sql.dialect import DEFAULT_DIALECT, Dialect
 from ..sql.printer import to_sql
 from .artifact import CompiledQuery
+from .cost import PlanEstimate
 
 
 @dataclass
@@ -30,11 +31,31 @@ class ExplainReport:
     fills it with the statement's per-operator execution profile delta
     (which may legitimately be empty — e.g. a backend that does not record
     operator profiles).
+
+    ``estimate`` is the cost model's estimated plan tree for the rewritten
+    statement (``None`` when the backend exposes no statistics).  An
+    ``analyze`` run also records ``actual_rows``, the executed statement's
+    result cardinality, so the root estimate can be judged against reality.
     """
 
     compiled: CompiledQuery
     dialect: Optional[Dialect] = None
     operators: Optional[list[OperatorProfile]] = None
+    estimate: Optional[PlanEstimate] = None
+    actual_rows: Optional[int] = None
+
+    @property
+    def q_error(self) -> Optional[float]:
+        """The root cardinality Q-error: max(est, actual) / min(est, actual).
+
+        ``None`` without both an estimate and an analyzed run; estimates and
+        actuals are floored at one row, the usual Q-error convention.
+        """
+        if self.estimate is None or self.actual_rows is None:
+            return None
+        estimated = max(self.estimate.rows, 1.0)
+        actual = max(float(self.actual_rows), 1.0)
+        return max(estimated, actual) / min(estimated, actual)
 
     # -- convenience accessors -------------------------------------------------
 
@@ -89,6 +110,15 @@ class ExplainReport:
             f"partitioned={list(analysis.partitioned)} "
             f"tables={list(analysis.tables)}"
         )
+        if self.estimate is not None:
+            lines.append("")
+            lines.append("cost estimate (rewritten statement):")
+            lines.extend(f"  {line}" for line in self.estimate.lines())
+            if self.actual_rows is not None:
+                lines.append(
+                    f"  rows: estimated≈{self.estimate.rows:.0f} "
+                    f"actual={self.actual_rows} q-error={self.q_error:.2f}"
+                )
         if self.operators is not None:
             lines.append("")
             lines.append("execution profile (one analyzed run):")

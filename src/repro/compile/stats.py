@@ -1,0 +1,264 @@
+"""Table and column statistics backing the cost-based planner.
+
+Every backend that wants costed plans implements
+``BackendConnection.collect_statistics()`` by scanning its base tables into a
+:class:`StatisticsCatalog`: per table a row count and per-tenant row skew,
+per column the number of distinct values (NDV), min/max bounds, a null count
+and — while the domain is small — the exact distinct-value set.  Collection
+happens once at load time (:func:`repro.mth.loader.load_mth` collects after
+bulk load) and is refreshed lazily when a table has absorbed enough DML
+(:class:`RefreshPolicy`), so steady-state query planning never rescans.
+
+Two structural facts make the sharded story exact rather than approximate:
+
+* partitioned tables are disjoint across shards, so row counts, null counts
+  and per-tenant counts merge by addition, min/max by comparison, and NDV by
+  set union while the distinct sets are retained (only once a column's
+  domain outgrows :data:`DISTINCT_CAP` does the merge degrade to a summed
+  upper bound, flagged ``exact=False``);
+* replicated (global) tables are identical on every shard, so the merge
+  takes any one shard's statistics verbatim.
+
+The cost model (:mod:`repro.compile.cost`) is the only consumer; it treats a
+missing table or column as "no information" and falls back to magic-constant
+selectivities, so statistics are always an optimization and never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+#: columns whose distinct-value set is at most this large keep the exact set,
+#: making NDV merges across shards exact (union) instead of a summed bound
+DISTINCT_CAP = 1024
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column of one table.
+
+    ``values`` is the exact distinct-value set when the domain fit under the
+    collection cap, else ``None``; ``exact`` records whether ``ndv`` is exact
+    (always true at collection, possibly false after a capped merge).
+    """
+
+    name: str
+    ndv: int
+    null_count: int = 0
+    min_value: object = None
+    max_value: object = None
+    values: Optional[frozenset] = None
+    exact: bool = True
+
+    def merged(self, other: "ColumnStats") -> "ColumnStats":
+        """Combine with the same column's statistics from a disjoint partition."""
+        if self.values is not None and other.values is not None:
+            union = self.values | other.values
+            if len(union) <= DISTINCT_CAP:
+                return ColumnStats(
+                    name=self.name,
+                    ndv=len(union),
+                    null_count=self.null_count + other.null_count,
+                    min_value=_merge_bound(self.min_value, other.min_value, min),
+                    max_value=_merge_bound(self.max_value, other.max_value, max),
+                    values=frozenset(union),
+                    exact=self.exact and other.exact,
+                )
+        return ColumnStats(
+            name=self.name,
+            ndv=self.ndv + other.ndv,
+            null_count=self.null_count + other.null_count,
+            min_value=_merge_bound(self.min_value, other.min_value, min),
+            max_value=_merge_bound(self.max_value, other.max_value, max),
+            values=None,
+            exact=False,
+        )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one base table.
+
+    ``tenant_rows`` maps ttid to that tenant's row count (empty for tables
+    with no registered tenant column); ``columns`` maps lower-cased column
+    name to its :class:`ColumnStats`.
+    """
+
+    name: str
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    tenant_rows: dict[object, int] = field(default_factory=dict)
+    ttid_column: Optional[str] = None
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """The statistics of one column (case-insensitive), if collected."""
+        return self.columns.get(name.lower())
+
+    def merged(self, other: "TableStats") -> "TableStats":
+        """Combine with the same table's statistics from a disjoint partition."""
+        tenant_rows = dict(self.tenant_rows)
+        for ttid, count in other.tenant_rows.items():
+            tenant_rows[ttid] = tenant_rows.get(ttid, 0) + count
+        columns = {
+            key: (
+                stats.merged(other.columns[key]) if key in other.columns else stats
+            )
+            for key, stats in self.columns.items()
+        }
+        for key, stats in other.columns.items():
+            columns.setdefault(key, stats)
+        return TableStats(
+            name=self.name,
+            row_count=self.row_count + other.row_count,
+            columns=columns,
+            tenant_rows=tenant_rows,
+            ttid_column=self.ttid_column or other.ttid_column,
+        )
+
+
+@dataclass
+class StatisticsCatalog:
+    """All collected table statistics of one backend (or one merged cluster).
+
+    ``version`` bumps on every replace/drop so consumers can cheaply detect
+    that estimates may have shifted; correctness never depends on freshness.
+    """
+
+    tables: dict[str, TableStats] = field(default_factory=dict)
+    version: int = 0
+
+    def table(self, name: str) -> Optional[TableStats]:
+        """The statistics of one table (case-insensitive), if collected."""
+        return self.tables.get(name.lower())
+
+    def put(self, stats: TableStats) -> None:
+        """Install (or replace) one table's statistics."""
+        self.tables[stats.name.lower()] = stats
+        self.version += 1
+
+    def drop(self, name: str) -> None:
+        """Forget one table's statistics (table dropped or fully stale)."""
+        if self.tables.pop(name.lower(), None) is not None:
+            self.version += 1
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When accumulated DML makes a table's statistics stale.
+
+    A table is stale after ``max(min_mutations, fraction * row_count)``
+    mutated rows — the absolute floor keeps tiny tables from recollecting on
+    every insert, the fraction keeps big tables from drifting unboundedly.
+    """
+
+    min_mutations: int = 64
+    fraction: float = 0.1
+
+    def is_stale(self, stats: Optional[TableStats], mutations: int) -> bool:
+        """Whether ``mutations`` mutated rows since collection demand a refresh."""
+        if stats is None:
+            return True
+        threshold = max(self.min_mutations, self.fraction * stats.row_count)
+        return mutations >= threshold
+
+
+def collect_table_stats(
+    name: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+    ttid_column: Optional[str] = None,
+    cap: int = DISTINCT_CAP,
+) -> TableStats:
+    """Scan ``rows`` once into a :class:`TableStats`.
+
+    ``columns`` gives the row layout; ``ttid_column`` (when the table is
+    tenant-partitioned) selects the column whose value histogram becomes
+    ``tenant_rows``.  NDV is computed exactly; the distinct set is retained
+    on the result only while it fits under ``cap``.
+    """
+    distinct: list[set] = [set() for _ in columns]
+    nulls = [0 for _ in columns]
+    mins: list[object] = [None for _ in columns]
+    maxs: list[object] = [None for _ in columns]
+    tenant_rows: dict[object, int] = {}
+    ttid_index = None
+    if ttid_column is not None:
+        lowered = [column.lower() for column in columns]
+        if ttid_column.lower() in lowered:
+            ttid_index = lowered.index(ttid_column.lower())
+
+    row_count = 0
+    for row in rows:
+        row_count += 1
+        if ttid_index is not None:
+            ttid = row[ttid_index]
+            tenant_rows[ttid] = tenant_rows.get(ttid, 0) + 1
+        for index, value in enumerate(row):
+            if value is None:
+                nulls[index] += 1
+                continue
+            distinct[index].add(value)
+            low, high = mins[index], maxs[index]
+            try:
+                if low is None or value < low:
+                    mins[index] = value
+                if high is None or value > high:
+                    maxs[index] = value
+            except TypeError:  # mixed un-comparable types: keep no bounds
+                mins[index] = None
+                maxs[index] = None
+
+    column_stats = {
+        column.lower(): ColumnStats(
+            name=column.lower(),
+            ndv=len(distinct[index]),
+            null_count=nulls[index],
+            min_value=mins[index],
+            max_value=maxs[index],
+            values=frozenset(distinct[index]) if len(distinct[index]) <= cap else None,
+            exact=True,
+        )
+        for index, column in enumerate(columns)
+    }
+    return TableStats(
+        name=name.lower(),
+        row_count=row_count,
+        columns=column_stats,
+        tenant_rows=tenant_rows,
+        ttid_column=ttid_column.lower() if ttid_index is not None else None,
+    )
+
+
+def merge_catalogs(
+    catalogs: Sequence[StatisticsCatalog],
+    replicated: frozenset[str] = frozenset(),
+) -> StatisticsCatalog:
+    """Merge per-shard catalogs into one cluster-wide catalog.
+
+    Tables named in ``replicated`` are identical on every shard, so the first
+    shard's statistics are taken verbatim; all other tables are treated as
+    disjoint partitions and merged additively.
+    """
+    merged = StatisticsCatalog()
+    for catalog in catalogs:
+        for key, stats in catalog.tables.items():
+            existing = merged.tables.get(key)
+            if existing is None:
+                merged.tables[key] = stats
+            elif key not in replicated:
+                merged.tables[key] = existing.merged(stats)
+    merged.version = sum(catalog.version for catalog in catalogs)
+    return merged
+
+
+def _merge_bound(left: object, right: object, pick) -> object:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    try:
+        return pick(left, right)
+    except TypeError:
+        return None

@@ -280,6 +280,11 @@ class MTConnection:
         delta of the backend's statistics around the run, so concurrent
         statements on the same backend would bleed into it; analyze on a
         quiet connection.
+
+        When the backend exposes table statistics the report also carries
+        the cost model's estimated plan tree for the rewritten statement
+        (``report.estimate``); an analyze run records the actual result
+        cardinality next to it (``report.actual_rows``, ``report.q_error``).
         """
         from ..compile.explain import ExplainReport
 
@@ -287,15 +292,38 @@ class MTConnection:
             self.backend.dialect if dialect is None else self._resolve_dialect(dialect)
         )
         compiled = self.compile(statement)
+        estimate = self._estimate_plan(compiled)
         operators = None
+        actual_rows = None
         if analyze:
-            operators = self._analyze_operators(compiled, parameters)
-        return ExplainReport(compiled=compiled, dialect=resolved, operators=operators)
+            operators, actual_rows = self._analyze_operators(compiled, parameters)
+        return ExplainReport(
+            compiled=compiled,
+            dialect=resolved,
+            operators=operators,
+            estimate=estimate,
+            actual_rows=actual_rows,
+        )
+
+    def _estimate_plan(self, compiled: "CompiledQuery"):
+        """The cost model's plan estimate for a compiled statement.
+
+        ``None`` when the backend has no statistics to estimate from (the
+        base-protocol default returns an empty catalog, which still yields
+        an estimate tree — only backends without the hook opt out).
+        """
+        from ..compile.cost import estimate_select
+
+        statistics_of = getattr(self.backend, "statistics", None)
+        if statistics_of is None:
+            return None
+        return estimate_select(compiled.rewritten, statistics_of())
 
     def _analyze_operators(
         self, compiled: "CompiledQuery", parameters: Optional[Sequence]
-    ) -> list:
-        """Execute a compiled statement and return its operator-profile delta."""
+    ) -> tuple:
+        """Execute a compiled statement; return its operator-profile delta
+        and the run's result cardinality."""
         from ..result import OperatorProfile
 
         stats = getattr(self.backend, "stats", None)
@@ -305,12 +333,13 @@ class MTConnection:
             if snapshot is not None
             else {}
         )
-        self.backend.execute_scoped(
+        result = self.backend.execute_scoped(
             compiled.rewritten,
             dataset=compiled.dataset,
             parameters=tuple(parameters) if parameters else None,
             compiled=compiled,
         )
+        actual_rows = len(result.rows) if hasattr(result, "rows") else None
         operators: list = []
         if snapshot is not None:
             for profile in snapshot():
@@ -327,7 +356,7 @@ class MTConnection:
                             seconds=seconds,
                         )
                     )
-        return operators
+        return operators, actual_rows
 
     def _resolve_dialect(
         self, dialect: Optional[Union[str, Dialect]]

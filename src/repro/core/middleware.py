@@ -142,6 +142,22 @@ class MTBase:
         self.notify_metadata_change("conversion")
         return registered
 
+    # -- statistics ------------------------------------------------------------------
+
+    def collect_statistics(self):
+        """Freshly scan the backend's tables into planner statistics.
+
+        Forwards to the execution backend (a sharded backend merges its
+        shards' catalogs); backends without the hook return an empty
+        catalog.  Loaders call this once after bulk loading so the first
+        query plans against real numbers.
+        """
+        return self.backend.collect_statistics()
+
+    def statistics(self):
+        """The backend's current (lazily refreshed) statistics catalog."""
+        return self.backend.statistics()
+
     # -- DDL ------------------------------------------------------------------------
 
     def execute_ddl(

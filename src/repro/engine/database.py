@@ -16,6 +16,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
+from ..compile.cost import CostConfig
+from ..compile.stats import RefreshPolicy, StatisticsCatalog, collect_table_stats
 from ..errors import ExecutionError
 from ..result import ExecuteResult, StatementResult
 from ..sql import ast
@@ -65,6 +67,7 @@ class Database:
         self,
         profile: Union[str, BackendProfile] = POSTGRES_PROFILE,
         vector: Optional[VectorConfig] = None,
+        cost: Optional[CostConfig] = None,
     ) -> None:
         if isinstance(profile, str):
             try:
@@ -73,9 +76,16 @@ class Database:
                 raise ExecutionError(f"unknown back-end profile {profile!r}") from exc
         self.profile = profile
         self.vector = vector if vector is not None else VectorConfig.from_env()
+        self.cost = cost if cost is not None else CostConfig.from_env()
         self.catalog = Catalog()
         self.stats = ExecutionStats()
         self.executor = Executor(self)
+        # table statistics backing the cost-based planner: collected on
+        # demand, refreshed per table once enough DML has accumulated
+        self._statistics = StatisticsCatalog()
+        self._stat_mutations: dict[str, int] = {}
+        self._ttid_hints: dict[str, str] = {}
+        self._refresh_policy = RefreshPolicy()
         # Serializes writers (DML is read-copy-replace on table.rows, DDL
         # mutates the catalog) so concurrent gateway sessions cannot lose
         # updates.  Readers stay lock-free: they see the old or the new rows
@@ -109,6 +119,8 @@ class Database:
         if isinstance(statement, ast.DropTable):
             with self._write_lock:
                 execute_drop_table(self.catalog, statement)
+                self._statistics.drop(statement.name)
+                self._stat_mutations.pop(statement.name.lower(), None)
                 self.executor.invalidate()
             return StatementResult("DROP TABLE")
         if isinstance(statement, ast.DropView):
@@ -119,14 +131,17 @@ class Database:
         if isinstance(statement, ast.Insert):
             with self._write_lock:
                 count = execute_insert(self.executor.context, statement)
+                self._note_mutations(statement.table, count)
             return StatementResult("INSERT", rowcount=count)
         if isinstance(statement, ast.Update):
             with self._write_lock:
                 count = execute_update(self.executor.context, statement)
+                self._note_mutations(statement.table, count)
             return StatementResult("UPDATE", rowcount=count)
         if isinstance(statement, ast.Delete):
             with self._write_lock:
                 count = execute_delete(self.executor.context, statement)
+                self._note_mutations(statement.table, count)
             return StatementResult("DELETE", rowcount=count)
         raise ExecutionError(
             f"statement type {type(statement).__name__} is not executable by the engine"
@@ -183,10 +198,78 @@ class Database:
         with self._write_lock:
             table = self.catalog.table(table_name)
             table.insert_many(rows)
+            self._note_mutations(table_name, len(rows))
         return len(rows)
 
     def table_rowcount(self, table_name: str) -> int:
         return len(self.catalog.table(table_name).rows)
+
+    # -- table statistics --------------------------------------------------------
+
+    def register_partitioned_table(
+        self,
+        table_name: str,
+        ttid_column: str,
+        local_key_columns=(),
+    ) -> None:
+        """Record the tenant column of a partitioned table.
+
+        Statistics collected for the table then include the per-tenant row
+        histogram the cost model uses for data-set selectivities.
+        """
+        self._ttid_hints[table_name.lower()] = ttid_column.lower()
+
+    def collect_statistics(self) -> StatisticsCatalog:
+        """Scan every base table into fresh planner statistics."""
+        with self._write_lock:
+            for table in self.catalog.tables():
+                self._collect_table(table)
+        return self._statistics
+
+    def statistics(self) -> StatisticsCatalog:
+        """The current statistics, refreshing tables made stale by DML.
+
+        A table recollects when it has never been scanned or when its
+        accumulated mutation count crosses the :class:`RefreshPolicy`
+        threshold; fresh tables are served from cache.
+        """
+        policy = self._refresh_policy
+        for table in self.catalog.tables():
+            name = table.schema.name.lower()
+            if policy.is_stale(
+                self._statistics.table(name), self._stat_mutations.get(name, 0)
+            ):
+                with self._write_lock:
+                    self._collect_table(table)
+        return self._statistics
+
+    def _collect_table(self, table) -> None:
+        name = table.schema.name.lower()
+        self._statistics.put(
+            collect_table_stats(
+                name,
+                [column.name for column in table.schema.columns],
+                table.rows,
+                ttid_column=self._ttid_hints.get(name),
+            )
+        )
+        self._stat_mutations[name] = 0
+
+    def _note_mutations(self, table_name: str, count: int) -> None:
+        name = table_name.lower()
+        self._stat_mutations[name] = self._stat_mutations.get(name, 0) + max(count, 0)
+
+    def set_cost(self, enabled: bool) -> None:
+        """Switch cost-based planning on or off for this database.
+
+        Like :meth:`set_vectorize`, the switch takes effect on the next
+        statement preparation; cached SQL-UDF body plans are dropped.
+        """
+        self.cost = CostConfig(
+            enabled=enabled,
+            prefilter_max_selectivity=self.cost.prefilter_max_selectivity,
+        )
+        self.executor.invalidate()
 
     def set_vectorize(self, enabled: bool, batch_size: Optional[int] = None) -> None:
         """Switch the execution mode (and optionally the batch size).

@@ -154,6 +154,10 @@ def load_mth(
     # the research scenario: every tenant may read every other tenant's data
     middleware.allow_cross_tenant_access()
 
+    # seed the cost model: scan the freshly loaded tables once so the first
+    # query plans against real statistics instead of collecting lazily
+    middleware.backend.collect_statistics()
+
     return MTHInstance(
         middleware=middleware,
         data=data,
@@ -178,6 +182,7 @@ def load_tpch_baseline(
     for table in CREATION_ORDER:
         connection.execute(plain_ddl(table))
         connection.insert_rows(table, data.table(table))
+    connection.collect_statistics()
     return connection
 
 

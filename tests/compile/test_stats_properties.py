@@ -1,0 +1,172 @@
+"""Property tests for the statistics layer (:mod:`repro.compile.stats`).
+
+Three families of invariants, driven by Hypothesis:
+
+* **collection** — :func:`collect_table_stats` agrees with brute force on
+  row counts, NDV, null counts, min/max bounds and the per-tenant histogram
+  for arbitrary row sets (including ``None``-heavy ones);
+* **sharding** — partitioning rows arbitrarily across shards and merging
+  the per-shard statistics (:func:`merge_catalogs`) reproduces the
+  whole-table statistics exactly while the distinct sets stay under the cap;
+* **refresh** — the engine's lazy :meth:`Database.statistics` refreshes a
+  table exactly when the accumulated DML crosses the
+  :class:`RefreshPolicy` threshold, and the refreshed numbers match a
+  forced recollection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.compile.stats import (  # noqa: E402
+    DISTINCT_CAP,
+    RefreshPolicy,
+    StatisticsCatalog,
+    collect_table_stats,
+    merge_catalogs,
+)
+from repro.engine.database import Database  # noqa: E402
+
+#: a value domain with NULLs, duplicates and a comparable type
+values = st.one_of(st.none(), st.integers(min_value=-50, max_value=50))
+
+#: rows of a fixed three-column layout: (ttid, key, payload)
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=100),
+        values,
+    ),
+    max_size=200,
+)
+
+COLUMNS = ("ttid", "key", "payload")
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_collection_matches_brute_force(rows):
+    stats = collect_table_stats("t", COLUMNS, rows, ttid_column="ttid")
+    assert stats.row_count == len(rows)
+    for index, column in enumerate(COLUMNS):
+        observed = [row[index] for row in rows]
+        non_null = [value for value in observed if value is not None]
+        column_stats = stats.column(column)
+        assert column_stats is not None
+        assert column_stats.ndv == len(set(non_null))
+        assert column_stats.null_count == len(observed) - len(non_null)
+        assert column_stats.min_value == (min(non_null) if non_null else None)
+        assert column_stats.max_value == (max(non_null) if non_null else None)
+        assert column_stats.exact
+        assert column_stats.values == frozenset(non_null)
+    histogram: dict[int, int] = {}
+    for row in rows:
+        histogram[row[0]] = histogram.get(row[0], 0) + 1
+    assert stats.tenant_rows == histogram
+    assert sum(stats.tenant_rows.values()) == stats.row_count
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=rows_strategy,
+    assignment=st.lists(st.integers(min_value=0, max_value=3), max_size=200),
+)
+def test_merged_shard_stats_equal_whole_table_stats(rows, assignment):
+    """Any partition of the rows across shards merges back exactly."""
+    shards: list[list[tuple]] = [[] for _ in range(4)]
+    for index, row in enumerate(rows):
+        shard = assignment[index] if index < len(assignment) else 0
+        shards[shard].append(row)
+    catalogs = []
+    for shard_rows in shards:
+        catalog = StatisticsCatalog()
+        catalog.put(
+            collect_table_stats("t", COLUMNS, shard_rows, ttid_column="ttid")
+        )
+        catalogs.append(catalog)
+    merged = merge_catalogs(catalogs).table("t")
+    whole = collect_table_stats("t", COLUMNS, rows, ttid_column="ttid")
+    assert merged is not None
+    assert merged.row_count == whole.row_count
+    assert merged.tenant_rows == whole.tenant_rows
+    for column in COLUMNS:
+        merged_column = merged.column(column)
+        whole_column = whole.column(column)
+        # domains here are far below DISTINCT_CAP, so merges stay exact
+        assert len(whole_column.values or ()) <= DISTINCT_CAP
+        assert merged_column.exact
+        assert merged_column.ndv == whole_column.ndv
+        assert merged_column.null_count == whole_column.null_count
+        assert merged_column.min_value == whole_column.min_value
+        assert merged_column.max_value == whole_column.max_value
+        assert merged_column.values == whole_column.values
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed_rows=st.lists(
+        st.tuples(st.integers(1, 5), st.integers(0, 100), values),
+        min_size=1,
+        max_size=50,
+    ),
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(("insert", "delete", "update")),
+            st.integers(1, 5),
+            st.integers(0, 100),
+            values,
+        ),
+        max_size=30,
+    ),
+)
+def test_engine_statistics_track_random_dml(seed_rows, operations):
+    """After any DML sequence, a forced recollection matches the live rows;
+    the lazy path refreshes exactly at the policy threshold."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (ttid INTEGER NOT NULL, key INTEGER NOT NULL, payload INTEGER)"
+    )
+    database.register_partitioned_table("t", "ttid")
+    database.insert_rows("t", [tuple(row) for row in seed_rows])
+    for kind, ttid, key, payload in operations:
+        if kind == "insert":
+            database.execute(
+                f"INSERT INTO t VALUES ({ttid}, {key}, "
+                f"{'NULL' if payload is None else payload})"
+            )
+        elif kind == "delete":
+            database.execute(f"DELETE FROM t WHERE key = {key}")
+        else:
+            database.execute(
+                f"UPDATE t SET payload = "
+                f"{'NULL' if payload is None else payload} WHERE ttid = {ttid}"
+            )
+    stats = database.collect_statistics().table("t")
+    live_rows = list(database.catalog.table("t").rows)
+    expected = collect_table_stats("t", COLUMNS, live_rows, ttid_column="ttid")
+    assert stats.row_count == expected.row_count
+    assert stats.tenant_rows == expected.tenant_rows
+    for column in COLUMNS:
+        assert stats.column(column) == expected.column(column)
+
+
+def test_lazy_refresh_triggers_at_threshold():
+    """``statistics()`` serves cached numbers below the mutation threshold
+    and recollects once accumulated DML reaches it."""
+    policy = RefreshPolicy()
+    database = Database()
+    database.execute("CREATE TABLE t (key INTEGER NOT NULL)")
+    database.insert_rows("t", [(value,) for value in range(10)])
+    before = database.statistics().table("t")
+    assert before.row_count == 10
+    threshold = int(max(policy.min_mutations, policy.fraction * before.row_count))
+    # stay strictly below the threshold: the cached statistics survive
+    database.insert_rows("t", [(100 + value,) for value in range(threshold - 1)])
+    assert database.statistics().table("t").row_count == 10
+    # one more mutated row crosses it: the next read recollects
+    database.execute("INSERT INTO t VALUES (9999)")
+    assert database.statistics().table("t").row_count == 10 + threshold

@@ -46,8 +46,10 @@ PUBLIC_MODULES = (
     "repro/compile/analysis.py",
     "repro/compile/artifact.py",
     "repro/compile/compiler.py",
+    "repro/compile/cost.py",
     "repro/compile/explain.py",
     "repro/compile/passes.py",
+    "repro/compile/stats.py",
     "repro/core/middleware.py",
     "repro/core/client.py",
     "repro/gateway/__init__.py",
