@@ -1,22 +1,26 @@
-"""Ablation: vectorized batch execution vs. the row-at-a-time oracle.
+"""Ablation: typed kernels vs. generic batch kernels vs. the row oracle.
 
-The engine's hot path runs batch kernels (``repro.engine.vector``); the
-row-at-a-time interpreter is kept as the bit-identical differential oracle
-(``REPRO_ENGINE_VECTORIZE=0``).  This ablation times the *same* rewritten
-statement in both modes on the same loaded engine database and attaches the
-speedup ratio to ``extra_info`` — scan-heavy aggregations (Q1/Q6-class) are
-where the batch kernels pay off most, so those are the measured mix.
+The engine's hot path runs typed-column kernels (``repro.engine.columns`` +
+the specialized paths in ``repro.engine.vector``); below them sit the
+generic object-list batch kernels (``REPRO_ENGINE_TYPED=0``), and below
+those the row-at-a-time interpreter kept as the bit-identical differential
+oracle (``REPRO_ENGINE_VECTORIZE=0``).  This ablation times the *same*
+rewritten statement in all three modes on the same loaded engine database
+and attaches both ratios to ``extra_info`` — scan-heavy aggregations
+(Q1/Q6-class) are where the batch kernels pay off most, so those are the
+measured mix.
 
 Ratios are reported, not asserted: wall-clock multiples are hardware- and
 load-dependent, and a flaky threshold would hide real regressions behind
-retries.  Result rows ARE asserted identical — a speedup measured against a
-wrong answer is meaningless.
+retries.  Result rows ARE asserted identical across all three modes — a
+speedup measured against a wrong answer is meaningless.
 """
 
 import time
 
 import pytest
 
+from conftest import record_benchmark
 from repro.bench.workload import WorkloadConfig, load_workload
 from repro.mth.queries import query_text
 
@@ -42,9 +46,13 @@ def _best_of(fn, rounds=ROUNDS):
     return best, result
 
 
+def _ratio(slow: float, fast: float) -> float:
+    return round(slow / fast if fast > 0 else float("inf"), 3)
+
+
 @pytest.mark.parametrize("query_id", QUERY_IDS)
 def test_vectorized_speedup(benchmark, workload, query_id):
-    """Measure row-mode vs. vectorized execution of one MT-H aggregation."""
+    """Measure row vs. generic-batch vs. typed execution of one MT-H query."""
     database = getattr(workload.backend, "engine_database", None)
     if database is None:
         pytest.skip("the speedup ablation needs the in-memory engine backend")
@@ -52,26 +60,37 @@ def test_vectorized_speedup(benchmark, workload, query_id):
     rewritten = connection.rewrite(query_text(query_id))
 
     was_enabled = database.vector.enabled
+    was_typed = database.vector.typed
+
+    def _measure():
+        workload.reset_caches()
+        return _best_of(lambda: workload.backend.execute(rewritten))
+
     try:
         database.set_vectorize(False)
-        workload.reset_caches()
-        row_seconds, row_result = _best_of(lambda: workload.backend.execute(rewritten))
+        row_seconds, row_result = _measure()
 
         database.set_vectorize(True)
-        workload.reset_caches()
-        vector_seconds, vector_result = _best_of(
-            lambda: workload.backend.execute(rewritten)
-        )
-        # the benchmarked unit is one more vectorized run, for the report
+        database.set_typed(False)
+        generic_seconds, generic_result = _measure()
+
+        database.set_typed(True)
+        typed_seconds, typed_result = _measure()
+        # the benchmarked unit is one more typed run, for the report
         benchmark.pedantic(
             lambda: workload.backend.execute(rewritten), rounds=1, iterations=1
         )
     finally:
         database.set_vectorize(was_enabled)
+        database.set_typed(was_typed)
 
-    assert vector_result.rows == row_result.rows
+    assert typed_result.rows == generic_result.rows == row_result.rows
     benchmark.extra_info["execute_row_ms"] = round(row_seconds * 1000.0, 4)
-    benchmark.extra_info["execute_vectorized_ms"] = round(vector_seconds * 1000.0, 4)
-    benchmark.extra_info["speedup"] = round(
-        row_seconds / vector_seconds if vector_seconds > 0 else float("inf"), 3
-    )
+    benchmark.extra_info["execute_generic_ms"] = round(generic_seconds * 1000.0, 4)
+    benchmark.extra_info["execute_typed_ms"] = round(typed_seconds * 1000.0, 4)
+    # generic batch kernels over the row oracle (the PR 7 win) ...
+    benchmark.extra_info["vectorized_speedup"] = _ratio(row_seconds, generic_seconds)
+    # ... and typed kernels over the generic batch kernels (this PR's win)
+    benchmark.extra_info["typed_speedup"] = _ratio(generic_seconds, typed_seconds)
+    benchmark.extra_info["speedup"] = _ratio(row_seconds, typed_seconds)
+    record_benchmark(benchmark, "vectorized-speedup", query=query_id)

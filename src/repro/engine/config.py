@@ -22,6 +22,15 @@ the engine in the wrong mode.
 |                            | row-at-a-time oracle                        |
 | ``REPRO_ENGINE_BATCH``     | rows per batch (default 1024, minimum 1)    |
 +----------------------------+---------------------------------------------+
+| ``REPRO_ENGINE_TYPED``     | ``1`` = typed-column kernel specialization  |
+|                            | (default), ``0`` = generic kernels only     |
++----------------------------+---------------------------------------------+
+
+``REPRO_ENGINE_TYPED`` only matters in vectorized mode: it gates whether
+batch kernels may specialize over :class:`~repro.engine.columns.TypedColumn`
+payloads where a base-table column is provably type-stable.  With the knob
+off the engine runs exactly the generic object-list kernels, which is the
+middle leg of the three-way differential {typed, generic-vectorized, row}.
 """
 
 from __future__ import annotations
@@ -74,12 +83,33 @@ def env_batch_size(default: int = DEFAULT_BATCH_SIZE) -> int:
     return parsed
 
 
+def env_typed(default: bool = True) -> bool:
+    """Typed-kernel override via ``REPRO_ENGINE_TYPED`` (``0`` or ``1``).
+
+    Same strictness as ``REPRO_ENGINE_VECTORIZE``: a differential leg that
+    silently fell back to the default would compare an engine against
+    itself.
+    """
+    value = os.environ.get("REPRO_ENGINE_TYPED", "").strip()
+    if not value:
+        return default
+    if value == "1":
+        return True
+    if value == "0":
+        return False
+    raise ConfigurationError(
+        f"the REPRO_ENGINE_TYPED environment variable must be '0' or '1' "
+        f"(got {value!r})"
+    )
+
+
 @dataclass(frozen=True)
 class VectorConfig:
     """The engine's execution-mode tunables (see the module docstring)."""
 
     enabled: bool = True
     batch_size: int = DEFAULT_BATCH_SIZE
+    typed: bool = True
 
     @classmethod
     def from_env(cls, **overrides) -> "VectorConfig":
@@ -91,6 +121,7 @@ class VectorConfig:
         values = {
             "enabled": env_vectorize(),
             "batch_size": env_batch_size(),
+            "typed": env_typed(),
         }
         values.update(overrides)
         return cls(**values)

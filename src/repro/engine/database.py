@@ -281,6 +281,22 @@ class Database:
         self.vector = VectorConfig(
             enabled=enabled,
             batch_size=batch_size if batch_size is not None else self.vector.batch_size,
+            typed=self.vector.typed,
+        )
+        self.executor.invalidate()
+
+    def set_typed(self, enabled: bool) -> None:
+        """Switch typed-column kernel specialization on or off.
+
+        Only observable in vectorized mode (see
+        :mod:`repro.engine.config`); like :meth:`set_vectorize` it takes
+        effect on the next statement preparation and drops cached SQL-UDF
+        body plans, which embedded the previous setting in their kernels.
+        """
+        self.vector = VectorConfig(
+            enabled=self.vector.enabled,
+            batch_size=self.vector.batch_size,
+            typed=enabled,
         )
         self.executor.invalidate()
 

@@ -446,72 +446,87 @@ class PreparedSelect:
         stats.add(subquery_runs=1)
         profiled = self._profile_ops
         batch_size = self._vector.batch_size
-        started = perf_counter() if profiled else 0.0
-        rows = self._pipeline.execute(outers)
         if profiled:
-            now = perf_counter()
-            stats.record_operator("scan+join", len(rows), now - started)
-            started = now
-        if self._post_filters:
-            if self._vectorized:
-                rows = apply_batch_predicates(
-                    RowBatch(rows), self._post_filters, outers
-                ).rows
+            kernels = stats.kernels
+            marks = [perf_counter(), kernels.typed, kernels.generic]
+
+            def record(operator: str, rows_count: int, batches: int = 1) -> None:
+                # each stage's profile carries the wall time and the
+                # typed/generic kernel dispatches since the previous mark
+                now = perf_counter()
+                stats.record_operator(
+                    operator,
+                    rows_count,
+                    now - marks[0],
+                    batches=batches,
+                    typed_kernels=kernels.typed - marks[1],
+                    generic_kernels=kernels.generic - marks[2],
+                )
+                marks[0] = now
+                marks[1] = kernels.typed
+                marks[2] = kernels.generic
+
+        if self._vectorized:
+            batch = self._pipeline.execute_batch(outers)
+            if profiled:
+                record("scan+join", batch.n)
+            if self._post_filters:
+                batch = apply_batch_predicates(batch, self._post_filters, outers)
+                if profiled:
+                    record("filter", batch.n)
+            input_rows = batch.n
+            if self._grouped:
+                operator = "aggregate"
+                projected = self._run_grouped_vector(batch, outers)
             else:
+                operator = "project"
+                projected = self._run_plain_vector(batch, outers)
+        else:
+            rows = self._pipeline.execute(outers)
+            if profiled:
+                record("scan+join", len(rows))
+            if self._post_filters:
                 filters = self._post_filters
                 rows = [
                     row
                     for row in rows
                     if all(predicate(row, outers) is True for predicate in filters)
                 ]
-            if profiled:
-                now = perf_counter()
-                stats.record_operator("filter", len(rows), now - started)
-                started = now
-        input_rows = len(rows)
-        if self._grouped:
-            operator = "aggregate"
-            if self._vectorized:
-                projected = self._run_grouped_vector(rows, outers)
-            else:
+                if profiled:
+                    record("filter", len(rows))
+            input_rows = len(rows)
+            if self._grouped:
+                operator = "aggregate"
                 projected = self._run_grouped(rows, outers)
-        else:
-            operator = "project"
-            if self._vectorized:
-                projected = self._run_plain_vector(rows, outers)
             else:
+                operator = "project"
                 projected = self._run_plain(rows, outers)
         if profiled:
-            now = perf_counter()
             batches = (
                 max(1, -(-input_rows // batch_size)) if self._vectorized else 1
             )
-            stats.record_operator(operator, input_rows, now - started, batches=batches)
-            started = now
+            record(operator, input_rows, batches=batches)
         if self._distinct:
             projected = self._deduplicate(projected)
             if profiled:
-                now = perf_counter()
-                stats.record_operator("distinct", len(projected), now - started)
-                started = now
+                record("distinct", len(projected))
         if self._order_fns:
             projected = self._order(projected)
             if profiled:
-                now = perf_counter()
-                stats.record_operator("order", len(projected), now - started)
+                record("order", len(projected))
         result = [row for row, _ in projected]
         if self._limit is not None:
             result = result[: self._limit]
         return result
 
-    def _run_plain_vector(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
+    def _run_plain_vector(self, source: RowBatch, outers: tuple) -> list[tuple[tuple, tuple]]:
         """Batch projection: evaluate item/order columns per bounded window."""
         batch_size = self._vector.batch_size
         item_fns = self._item_fns
         order_fns = self._order_fns
         projected: list[tuple[tuple, tuple]] = []
-        for start in range(0, len(rows), batch_size):
-            batch = RowBatch(rows[start : start + batch_size])
+        for start in range(0, source.n, batch_size):
+            batch = source.window(start, start + batch_size)
             value_columns = [fn(batch, outers) for fn in item_fns]
             values_rows = list(zip(*value_columns))
             if order_fns:
@@ -522,22 +537,26 @@ class PreparedSelect:
             projected.extend(zip(values_rows, keys_rows))
         return projected
 
-    def _run_grouped_vector(self, rows: list[tuple], outers: tuple) -> list[tuple[tuple, tuple]]:
-        """Batch aggregation: columnwise keys/arguments, per-group add_many.
+    def _run_grouped_vector(self, source: RowBatch, outers: tuple) -> list[tuple[tuple, tuple]]:
+        """Batch aggregation: columnwise keys/arguments, per-group folding.
 
-        Rows are processed in bounded windows; within a window the group
-        keys and every aggregate argument are evaluated as columns, the
-        window is partitioned by key, and each group's accumulator folds
-        its slice via :meth:`~repro.engine.functions.Aggregate.add_many` —
-        in row order, so float accumulation is bit-identical to row mode.
+        Rows are processed in bounded windows of the source batch (windows
+        over a scan batch keep typed-column access, so aggregate arguments
+        like ``qty * price`` evaluate through typed kernels); within a
+        window the group keys and every aggregate argument are evaluated as
+        columns, the window is partitioned by key, and each group folds its
+        slice via :meth:`~repro.engine.functions.Aggregate.add_many` (whole
+        window) or :meth:`~repro.engine.functions.Aggregate.add_indexed`
+        (group-index array, no intermediate gather) — in row order either
+        way, so float accumulation is bit-identical to row mode.
         """
         specs = self._aggregate_specs
         group_key_fns = self._group_key_fns
         has_keys = bool(group_key_fns)
         batch_size = self._vector.batch_size
         groups: dict[tuple, list] = {}
-        for start in range(0, len(rows), batch_size):
-            batch = RowBatch(rows[start : start + batch_size])
+        for start in range(0, source.n, batch_size):
+            batch = source.window(start, start + batch_size)
             argument_columns = [
                 fn(batch, outers) if fn is not None else None for _, fn in specs
             ]
@@ -552,7 +571,6 @@ class PreparedSelect:
                         bucket.append(index)
             else:
                 partition[()] = list(range(batch.n))
-            batch_rows = batch.rows
             whole = batch.n
             for key, indices in partition.items():
                 accumulators = groups.get(key)
@@ -569,11 +587,12 @@ class PreparedSelect:
                         if type(accumulator) is CountAggregate:
                             accumulator.add_count(count)
                         else:
+                            batch_rows = batch.rows
                             accumulator.add_many([batch_rows[i] for i in indices])
                     elif count == whole:
                         accumulator.add_many(column)
                     else:
-                        accumulator.add_many([column[i] for i in indices])
+                        accumulator.add_indexed(column, indices)
         if not groups and not has_keys:
             groups[()] = [make_aggregate(aggregate) for aggregate, _ in specs]
 

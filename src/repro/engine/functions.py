@@ -248,10 +248,13 @@ class Aggregate:
     """Streaming accumulator interface for SQL aggregate functions.
 
     :meth:`add_many` is the vectorized entry point: one call folds a whole
-    column into the accumulator.  Every override applies values in column
-    order with the exact per-element arithmetic of :meth:`add` — in
-    particular floats accumulate by the same sequence of binary additions —
-    so batch and row execution produce bit-identical results.
+    column into the accumulator; :meth:`add_indexed` folds the positions of
+    a group-index array without materializing the gathered slice (the
+    grouped-aggregation hot path over typed columns).  Every override
+    applies values in column order with the exact per-element arithmetic of
+    :meth:`add` — in particular floats accumulate by the same sequence of
+    binary additions — so batch and row execution produce bit-identical
+    results.
     """
 
     def add(self, value: Any) -> None:
@@ -261,6 +264,12 @@ class Aggregate:
         """Fold a column of values into the accumulator (batch hot path)."""
         for value in values:
             self.add(value)
+
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        """Fold ``values[i] for i in indices`` (ascending group positions)."""
+        add = self.add
+        for i in indices:
+            add(values[i])
 
     def result(self) -> Any:
         raise NotImplementedError
@@ -285,6 +294,12 @@ class CountAggregate(Aggregate):
         """Count ``count`` rows at once (COUNT(*) over a batch needs no column)."""
         self._count += count
 
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        if self._count_star:
+            self._count += len(indices)
+            return
+        self._count += sum(1 for i in indices if values[i] is not None)
+
     def result(self) -> int:
         return self._count
 
@@ -301,6 +316,14 @@ class SumAggregate(Aggregate):
     def add_many(self, values: Sequence[Any]) -> None:
         total = self._total
         for value in values:
+            if value is not None:
+                total = value if total is None else total + value
+        self._total = total
+
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        total = self._total
+        for i in indices:
+            value = values[i]
             if value is not None:
                 total = value if total is None else total + value
         self._total = total
@@ -330,6 +353,17 @@ class AvgAggregate(Aggregate):
         self._total = total
         self._count = count
 
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        total = self._total
+        count = self._count
+        for i in indices:
+            value = values[i]
+            if value is not None:
+                total += value
+                count += 1
+        self._total = total
+        self._count = count
+
     def result(self) -> Any:
         if self._count == 0:
             return None
@@ -353,6 +387,14 @@ class MinAggregate(Aggregate):
                 best = value
         self._value = best
 
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        best = self._value
+        for i in indices:
+            value = values[i]
+            if value is not None and (best is None or value < best):
+                best = value
+        self._value = best
+
     def result(self) -> Any:
         return self._value
 
@@ -370,6 +412,14 @@ class MaxAggregate(Aggregate):
     def add_many(self, values: Sequence[Any]) -> None:
         best = self._value
         for value in values:
+            if value is not None and (best is None or value > best):
+                best = value
+        self._value = best
+
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        best = self._value
+        for i in indices:
+            value = values[i]
             if value is not None and (best is None or value > best):
                 best = value
         self._value = best
@@ -398,6 +448,17 @@ class DistinctAggregate(Aggregate):
         seen = self._seen
         inner_add = self._inner.add
         for value in values:
+            if value is None:
+                inner_add(value)
+            elif value not in seen:
+                seen.add(value)
+                inner_add(value)
+
+    def add_indexed(self, values: Sequence[Any], indices: Sequence[int]) -> None:
+        seen = self._seen
+        inner_add = self._inner.add
+        for i in indices:
+            value = values[i]
             if value is None:
                 inner_add(value)
             elif value not in seen:

@@ -52,6 +52,20 @@ def _chunked(rows: list[tuple], batch_size: int):
         yield rows[start : start + batch_size]
 
 
+def _join_key_column(fns: list, rows: list[tuple], outers: tuple):
+    """Key-per-row list for a hash-join side, computed columnwise.
+
+    ``fns`` are batch kernels: single-key joins use the kernel's column
+    directly, multi-key joins zip the key columns into tuples — the batch
+    analogue of ``tuple(fn(row, outers) for fn in fns)`` per row.
+    """
+    batch = RowBatch(rows)
+    columns = [fn(batch, outers) for fn in fns]
+    if len(columns) == 1:
+        return columns[0]
+    return list(zip(*columns))
+
+
 class _OuterSentinel:
     """Marker: a column resolved against an enclosing query (or a parameter)."""
 
@@ -86,13 +100,15 @@ class SourcePlan:
         rows: list[tuple],
         outers: tuple,
         col_source=None,
+        typed_source=None,
     ) -> list[tuple]:
         if self._batch_filters:
             batch = apply_batch_predicates(
-                RowBatch(rows, col_source), self._batch_filters, outers
+                RowBatch(rows, col_source, typed_source), self._batch_filters, outers
             )
+            out = batch.rows
             # never hand out the caller's own list (table heaps are shared)
-            return list(batch.rows) if batch.rows is rows else batch.rows
+            return list(out) if out is rows else out
         if not self._filters:
             return rows
         filters = self._filters
@@ -102,8 +118,33 @@ class SourcePlan:
             if all(predicate(row, outers) is True for predicate in filters)
         ]
 
+    def _filter_batch(self, batch: RowBatch, outers: tuple) -> RowBatch:
+        """Apply the pushed-down filters to a batch, compacting by selection."""
+        if self._batch_filters:
+            batch = apply_batch_predicates(batch, self._batch_filters, outers)
+        if self._filters:
+            filters = self._filters
+            batch = RowBatch(
+                [
+                    row
+                    for row in batch.rows
+                    if all(predicate(row, outers) is True for predicate in filters)
+                ]
+            )
+        return batch
+
     def rows(self, outers: tuple) -> list[tuple]:
         raise NotImplementedError
+
+    def batch(self, outers: tuple) -> RowBatch:
+        """The plan's filtered rows as one :class:`RowBatch`.
+
+        Entry point of the vectorized executor; :class:`TableSource`
+        overrides it so a full scan keeps its typed columns and its
+        selection view alive end to end instead of materializing row
+        tuples between the scan and the projection/aggregation stage.
+        """
+        return RowBatch(self.rows(outers))
 
     def estimate(self) -> int:
         raise NotImplementedError
@@ -119,12 +160,18 @@ class TableSource(SourcePlan):
     When one of the pushed filters is ``<primary key column> = <expr>`` and
     the expression does not reference this table, the scan becomes a point
     look-up in a lazily-built hash index on that key column.
+
+    With ``typed=True`` (vectorized mode with ``REPRO_ENGINE_TYPED=1``) the
+    scan batch additionally exposes the table's version-cached
+    :class:`~repro.engine.columns.TypedColumn` payloads, which is what lets
+    downstream kernels run their specialized loops.
     """
 
-    def __init__(self, table, binding: str) -> None:
+    def __init__(self, table, binding: str, typed: bool = False) -> None:
         schema = [(binding, column.name) for column in table.schema.columns]
         super().__init__(schema, {binding.lower()})
         self.table = table
+        self._typed = typed
         self._key_lookup: Optional[tuple[int, CompiledExpr]] = None
 
     def set_key_lookup(self, column_index: int, value_fn: CompiledExpr) -> None:
@@ -146,11 +193,24 @@ class TableSource(SourcePlan):
             candidates = self._hash_index(column_index).get(value, [])
             return self._apply_filters(list(candidates), outers)
         # full scan: batch kernels read the table's version-cached column
-        # arrays directly instead of gathering per query
+        # arrays (and typed payloads) directly instead of gathering per query
         filtered = self._apply_filters(
-            self.table.rows, outers, col_source=self.table.column_array
+            self.table.rows,
+            outers,
+            col_source=self.table.column_array,
+            typed_source=self.table.typed_column if self._typed else None,
         )
         return list(filtered) if filtered is self.table.rows else filtered
+
+    def batch(self, outers: tuple) -> RowBatch:
+        if self._key_lookup is not None:
+            return RowBatch(self.rows(outers))
+        scan = RowBatch(
+            self.table.rows,
+            col_source=self.table.column_array,
+            typed_source=self.table.typed_column if self._typed else None,
+        )
+        return self._filter_batch(scan, outers)
 
     def _hash_index(self, column_index: int) -> dict:
         cache = getattr(self.table, "_planner_indexes", None)
@@ -187,7 +247,14 @@ class PreparedSource(SourcePlan):
 
 
 class JoinSource(SourcePlan):
-    """An explicit ``A [LEFT] JOIN B ON cond`` treated as one composite source."""
+    """An explicit ``A [LEFT] JOIN B ON cond`` treated as one composite source.
+
+    In vectorized mode (``vectorized=True``) the ON-clause machinery is
+    batch-compiled: build/probe key columns come from batch kernels, the
+    residual condition evaluates once over the whole candidate batch, and
+    LEFT-join null padding is reconstructed from a candidate→left-position
+    index array — no per-row closure dispatch anywhere on the join path.
+    """
 
     def __init__(
         self,
@@ -196,6 +263,7 @@ class JoinSource(SourcePlan):
         join_type: ast.JoinType,
         key_pairs: list[tuple[CompiledExpr, CompiledExpr]],
         residual: Optional[CompiledExpr],
+        vectorized: bool = False,
     ) -> None:
         super().__init__(list(left.schema) + list(right.schema), left.bindings | right.bindings)
         self._left = left
@@ -204,6 +272,7 @@ class JoinSource(SourcePlan):
         self._key_pairs = key_pairs
         self._residual = residual
         self._right_width = len(right.schema)
+        self._vectorized = vectorized
 
     def children(self) -> list["PreparedSelect"]:
         return self._left.children() + self._right.children()
@@ -211,7 +280,72 @@ class JoinSource(SourcePlan):
     def estimate(self) -> int:
         return max(self._left.estimate(), self._right.estimate())
 
+    def _rows_vectorized(self, outers: tuple) -> list[tuple]:
+        """Batch ON-clause join: key columns, one residual mask, index padding.
+
+        Candidate pairs are collected in exactly the row-mode nesting order
+        together with a parallel array of left-row positions; the residual
+        (a batch kernel here) is evaluated once over the candidate batch —
+        never over unmatched rows, which row mode also never sees — and for
+        LEFT joins the output is rebuilt in one pass over the left side,
+        padding rows whose candidates all failed.  Output order is therefore
+        bit-identical to the row-at-a-time loop.
+        """
+        left_rows = self._left.rows(outers)
+        right_rows = self._right.rows(outers)
+        candidates: list[tuple] = []
+        cand_left_pos: list[int] = []
+        if self._key_pairs:
+            probe_fns = [pair[0] for pair in self._key_pairs]
+            build_fns = [pair[1] for pair in self._key_pairs]
+            table: dict = {}
+            for row, key in zip(
+                right_rows, _join_key_column(build_fns, right_rows, outers)
+            ):
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+            get = table.get
+            for position, (left_row, key) in enumerate(
+                zip(left_rows, _join_key_column(probe_fns, left_rows, outers))
+            ):
+                bucket = get(key)
+                if bucket:
+                    for right_row in bucket:
+                        candidates.append(left_row + right_row)
+                        cand_left_pos.append(position)
+        else:
+            for position, left_row in enumerate(left_rows):
+                for right_row in right_rows:
+                    candidates.append(left_row + right_row)
+                    cand_left_pos.append(position)
+        mask = None
+        if self._residual is not None and candidates:
+            mask = self._residual(RowBatch(candidates), outers)
+        if self._join_type is not ast.JoinType.LEFT:
+            if mask is None:
+                return candidates
+            return [row for row, keep in zip(candidates, mask) if keep is True]
+        null_pad = (None,) * self._right_width
+        combined: list[tuple] = []
+        index = 0
+        total = len(candidates)
+        for position, left_row in enumerate(left_rows):
+            matched = False
+            while index < total and cand_left_pos[index] == position:
+                if mask is None or mask[index] is True:
+                    combined.append(candidates[index])
+                    matched = True
+                index += 1
+            if not matched:
+                combined.append(left_row + null_pad)
+        return combined
+
     def rows(self, outers: tuple) -> list[tuple]:
+        if self._vectorized:
+            return self._apply_filters(self._rows_vectorized(outers), outers)
         left_rows = self._left.rows(outers)
         right_rows = self._right.rows(outers)
         null_pad = (None,) * self._right_width
@@ -295,6 +429,22 @@ class JoinPipeline:
         self._vectorized = vectorized
         self._batch_size = batch_size
 
+    def execute_batch(self, outers: tuple) -> RowBatch:
+        """The pipeline's joined rows as one :class:`RowBatch` (vectorized).
+
+        With no join steps the first source's batch flows through directly,
+        so a filtered base-table scan keeps its typed columns and selection
+        view for the projection/aggregation stage; join outputs are plain
+        row-tuple batches (join intermediates have no stable storage
+        columns to specialize over).
+        """
+        if not self._steps:
+            batch = self._first.batch(outers)
+            if self._final_residuals and batch.n:
+                batch = apply_batch_predicates(batch, self._final_residuals, outers)
+            return batch
+        return RowBatch(self._execute_vectorized(outers))
+
     def execute(self, outers: tuple) -> list[tuple]:
         if self._vectorized:
             return self._execute_vectorized(outers)
@@ -325,15 +475,6 @@ class JoinPipeline:
         return current
 
     @staticmethod
-    def _join_keys(fns: list, rows: list[tuple], outers: tuple):
-        """Key-per-row list for a hash-join side, computed columnwise."""
-        batch = RowBatch(rows)
-        columns = [fn(batch, outers) for fn in fns]
-        if len(columns) == 1:
-            return columns[0]
-        return list(zip(*columns))
-
-    @staticmethod
     def _execute_step_batch(
         step: _JoinStep, current: list[tuple], outers: tuple
     ) -> list[tuple]:
@@ -341,7 +482,7 @@ class JoinPipeline:
         joined: list[tuple] = []
         if step.probe_fns:
             table: dict = {}
-            for row, key in zip(new_rows, JoinPipeline._join_keys(step.build_fns, new_rows, outers)):
+            for row, key in zip(new_rows, _join_key_column(step.build_fns, new_rows, outers)):
                 bucket = table.get(key)
                 if bucket is None:
                     table[key] = [row]
@@ -349,7 +490,7 @@ class JoinPipeline:
                     bucket.append(row)
             get = table.get
             for left_row, key in zip(
-                current, JoinPipeline._join_keys(step.probe_fns, current, outers)
+                current, _join_key_column(step.probe_fns, current, outers)
             ):
                 bucket = get(key)
                 if bucket:
@@ -420,7 +561,7 @@ class JoinPipeline:
                 table = {}
                 if step.probe_fns:
                     for row, key in zip(
-                        new_rows, JoinPipeline._join_keys(step.build_fns, new_rows, outers)
+                        new_rows, _join_key_column(step.build_fns, new_rows, outers)
                     ):
                         bucket = table.get(key)
                         if bucket is None:
@@ -431,7 +572,7 @@ class JoinPipeline:
             if step.probe_fns:
                 get = table.get
                 for left_row, key in zip(
-                    chunk, JoinPipeline._join_keys(step.probe_fns, chunk, outers)
+                    chunk, _join_key_column(step.probe_fns, chunk, outers)
                 ):
                     bucket = get(key)
                     if bucket:
@@ -529,6 +670,10 @@ class EmptyPipeline:
     def execute(self, outers: tuple) -> list[tuple]:
         return [()]
 
+    def execute_batch(self, outers: tuple) -> RowBatch:
+        """The single empty row as a one-row batch."""
+        return RowBatch([()])
+
     def iter_rows(self, outers: tuple):
         """The single empty row, as a (trivially lazy) iterator."""
         yield ()
@@ -566,6 +711,7 @@ class Planner:
         vector = context.database.vector
         self._vectorized = vector.enabled
         self._batch_size = vector.batch_size
+        self._typed = vector.enabled and vector.typed
         self._costed = context.database.cost.enabled
 
     def _new_scope(self, columns: list[tuple[Optional[str], str]]) -> Scope:
@@ -648,7 +794,7 @@ class Planner:
             prepared = self._context.prepare_subquery(catalog.view(item.name), self._parent_scope)
             return PreparedSource(prepared, binding)
         table = catalog.table(item.name)
-        return TableSource(table, binding)
+        return TableSource(table, binding, typed=self._typed)
 
     def _plan_join(self, item: ast.Join) -> SourcePlan:
         left = self._plan_from_item(item.left)
@@ -656,8 +802,8 @@ class Planner:
         key_pairs: list[tuple[CompiledExpr, CompiledExpr]] = []
         residual_parts: list[ast.Expression] = []
         if item.condition is not None:
-            left_compiler = self._compiler(left.schema)
-            right_compiler = self._compiler(right.schema)
+            left_compiler = self._mode_compiler(left.schema)
+            right_compiler = self._mode_compiler(right.schema)
             for conjunct in ast.split_conjuncts(item.condition):
                 pair = self._equi_join_pair(conjunct, left, right)
                 if pair is not None:
@@ -669,9 +815,11 @@ class Planner:
                     residual_parts.append(conjunct)
         residual = None
         if residual_parts:
-            combined_compiler = self._compiler(list(left.schema) + list(right.schema))
+            combined_compiler = self._mode_compiler(list(left.schema) + list(right.schema))
             residual = combined_compiler.compile_predicate(ast.and_(*residual_parts))
-        return JoinSource(left, right, item.join_type, key_pairs, residual)
+        return JoinSource(
+            left, right, item.join_type, key_pairs, residual, vectorized=self._vectorized
+        )
 
     def _equi_join_pair(
         self, conjunct: ast.Expression, left: SourcePlan, right: SourcePlan

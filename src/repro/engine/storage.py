@@ -13,6 +13,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 from ..errors import CatalogError, ConstraintViolation
 from ..sql.types import SQLType
+from .columns import TypedColumn, build_typed_column
 
 
 @dataclass
@@ -80,6 +81,8 @@ class Table:
         self.version = 0
         self._column_cache: dict[int, list] = {}
         self._column_cache_version = -1
+        self._typed_cache: dict[int, Optional[TypedColumn]] = {}
+        self._typed_cache_version = -1
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -100,6 +103,23 @@ class Table:
             column = [row[index] for row in self.rows]
             self._column_cache[index] = column
         return column
+
+    def typed_column(self, index: int) -> Optional[TypedColumn]:
+        """The typed payload for column ``index``, cached per table version.
+
+        Returns ``None`` when the column is not provably type-stable (see
+        :func:`repro.engine.columns.build_typed_column`); the refusal is
+        cached too, so an unstable column costs one scan per mutation epoch
+        rather than one per query.
+        """
+        if self._typed_cache_version != self.version:
+            self._typed_cache = {}
+            self._typed_cache_version = self.version
+        if index in self._typed_cache:
+            return self._typed_cache[index]
+        typed = build_typed_column(self.schema.columns[index].sql_type, self.column_array(index))
+        self._typed_cache[index] = typed
+        return typed
 
     def insert_row(self, values: Sequence[Any]) -> None:
         """Insert a full row (values in schema column order)."""

@@ -24,6 +24,20 @@ Sub-query nodes (scalar, ``IN``, ``EXISTS``) are evaluated through the row
 compiler inside the batch (the *rowwise fallback*): their per-row cost is an
 uncorrelated-cache lookup either way, and correlated sub-queries are
 inherently row-at-a-time.
+
+On top of the generic object-list kernels sits the **typed specialization
+layer** (``REPRO_ENGINE_TYPED``, default on): where a base-table column is
+provably type-stable (:mod:`repro.engine.columns`), numeric comparison /
+arithmetic / BETWEEN / IN-list kernels are code-generated as tight loops
+over ``array('q')`` / ``array('d')`` payloads — no ``sql_compare`` coercion,
+no per-element type guard — with a null-aware variant when the column
+carries a null set, and date-vs-literal comparisons reduced to integer
+day-ordinal comparisons.  Every specialized kernel keeps its generic twin
+and falls back *per batch* whenever a referenced column is not typed (join
+intermediates, post-UDF values, mixed-type columns), so semantics never
+depend on the data.  Filter compaction is selection-index based:
+:meth:`RowBatch.filter` produces an index view over the shared payload
+instead of rebuilding row-tuple lists between conjuncts.
 """
 
 from __future__ import annotations
@@ -34,6 +48,7 @@ from typing import Any, Callable, Optional, Sequence
 from ..errors import ExecutionError
 from ..sql import ast
 from ..sql.types import Date, sql_compare, sql_equal
+from .columns import NUMERIC_KINDS, TypedColumn
 from .expressions import (
     ExpressionCompiler,
     Scope,
@@ -46,49 +61,153 @@ BatchKernel = Callable[["RowBatch", tuple], list]
 
 
 class RowBatch:
-    """A window of rows processed as one unit: row tuples + lazy columns.
+    """A window of rows processed as one unit: a shared payload + lazy views.
 
-    The batch always carries its ``rows`` (list of row tuples, the join and
-    storage currency), and materializes a column array on first access via
-    :meth:`column` — either by gathering ``row[index]`` or, for base-table
-    scans, by slicing the table's version-cached column arrays through the
-    ``col_source`` accelerator.  Kernels read columns; the rowwise fallback
-    and the join machinery read rows; nothing is transposed twice.
+    A batch is either *dense* (``sel`` is None — its payload rows in payload
+    order) or a *selection* — an index array into a payload shared with its
+    parent batch.  Filters compact by composing selections instead of
+    rebuilding row-tuple lists, so a conjunct chain over a scan touches row
+    tuples zero times; ``rows`` gathers (and caches) the tuples only when a
+    consumer actually asks for them.
+
+    Columns materialize on first access via :meth:`column` — from the
+    ``typed_source`` payload when it is zero-copy usable, from the table's
+    version-cached object columns (``col_source``), or by gathering
+    ``row[index]``.  Specialized kernels bypass the object columns entirely
+    through :meth:`typed_column` + :attr:`sel`.  Invariant: a batch with
+    sources and ``sel is None`` spans its table payload *in full, in payload
+    order* (windows and filters over it always carry a selection).
     """
 
-    __slots__ = ("rows", "n", "_cols", "_col_source")
+    __slots__ = ("n", "_rows", "_mat", "_sel", "_cols", "_col_source", "_typed_source")
 
     def __init__(
         self,
         rows: Sequence[tuple],
         col_source: Optional[Callable[[int], list]] = None,
+        typed_source: Optional[Callable[[int], Optional[TypedColumn]]] = None,
     ) -> None:
-        self.rows = rows
+        self._rows = rows
         self.n = len(rows)
+        self._mat: Optional[list] = None
+        self._sel: Optional[Sequence[int]] = None
         self._cols: dict[int, list] = {}
         self._col_source = col_source
+        self._typed_source = typed_source
 
-    def column(self, index: int) -> list:
-        """The column array for slot ``index`` (gathered once, then cached)."""
+    @classmethod
+    def _selection(cls, parent: "RowBatch", sel: Sequence[int]) -> "RowBatch":
+        """A view keeping the payload positions in ``sel`` (payload-space)."""
+        batch = cls.__new__(cls)
+        batch._rows = parent._rows
+        batch.n = len(sel)
+        batch._mat = None
+        batch._sel = sel
+        batch._cols = {}
+        batch._col_source = parent._col_source
+        batch._typed_source = parent._typed_source
+        return batch
+
+    @property
+    def rows(self) -> Sequence[tuple]:
+        """The row tuples of this batch (gathered lazily for selections)."""
+        sel = self._sel
+        if sel is None:
+            return self._rows
+        mat = self._mat
+        if mat is None:
+            payload = self._rows
+            mat = [payload[i] for i in sel]
+            self._mat = mat
+        return mat
+
+    @property
+    def sel(self) -> Optional[Sequence[int]]:
+        """Selection indices into the shared payload; None = payload order."""
+        return self._sel
+
+    def column(self, index: int) -> Sequence[Any]:
+        """The column array for slot ``index`` (gathered once, then cached).
+
+        Resolution order: typed payload when its elements *are* the objects
+        (strings, null-free numerics), then the table's cached object
+        column, then the row tuples — selections gather through their index
+        array either way.
+        """
         col = self._cols.get(index)
-        if col is None:
-            source = self._col_source
-            if source is not None:
-                col = source(index)
-            else:
-                col = [row[index] for row in self.rows]
-            self._cols[index] = col
+        if col is not None:
+            return col
+        sel = self._sel
+        typed = self._typed_source
+        payload = None
+        if typed is not None:
+            typed_col = typed(index)
+            if typed_col is not None:
+                payload = typed_col.object_values()
+        if payload is None and self._col_source is not None:
+            payload = self._col_source(index)
+        if payload is not None:
+            col = payload if sel is None else [payload[i] for i in sel]
+        elif sel is None:
+            col = [row[index] for row in self._rows]
+        else:
+            payload_rows = self._rows
+            col = [payload_rows[i][index] for i in sel]
+        self._cols[index] = col
         return col
 
+    def typed_column(self, index: int) -> Optional[TypedColumn]:
+        """The :class:`TypedColumn` behind slot ``index``, if any.
+
+        Payload-order (not batch-order): specialized kernels combine it
+        with :attr:`sel`.  ``None`` whenever the batch has no typed source
+        (join intermediates, sub-queries) or the column is not stable.
+        """
+        source = self._typed_source
+        return source(index) if source is not None else None
+
     def filter(self, mask: Sequence[Any]) -> "RowBatch":
-        """A new batch keeping exactly the rows whose mask entry ``is True``
-        (SQL predicates: NULL and False both drop the row)."""
-        return RowBatch([row for row, keep in zip(self.rows, mask) if keep is True])
+        """A batch keeping exactly the rows whose mask entry ``is True``
+        (SQL predicates: NULL and False both drop the row).
+
+        Compaction is selection-index based: the result is a view over the
+        shared payload, and the incoming batch is returned unchanged (cached
+        columns intact) when the mask keeps every row.
+        """
+        sel = self._sel
+        if sel is None:
+            kept = [i for i, keep in enumerate(mask) if keep is True]
+        else:
+            kept = [sel[i] for i, keep in enumerate(mask) if keep is True]
+        if len(kept) == self.n:
+            return self
+        return RowBatch._selection(self, kept)
 
     def select(self, indices: Sequence[int]) -> "RowBatch":
-        """A new batch of the rows at ``indices`` (CASE branch sub-batches)."""
-        rows = self.rows
-        return RowBatch([rows[index] for index in indices])
+        """A view of the rows at batch-local ``indices`` (CASE sub-batches).
+
+        The index list is captured by reference and must not be mutated by
+        the caller afterwards.
+        """
+        sel = self._sel
+        if sel is not None:
+            return RowBatch._selection(self, [sel[i] for i in indices])
+        return RowBatch._selection(self, indices)
+
+    def window(self, start: int, stop: int) -> "RowBatch":
+        """The sub-batch of batch positions ``[start, stop)`` (clamped).
+
+        The executor's bounded unit: selections slice their index array,
+        source-backed dense batches window by ``range`` (keeping typed
+        payload access), and plain row-list batches slice their rows.
+        """
+        stop = min(stop, self.n)
+        sel = self._sel
+        if sel is not None:
+            return RowBatch._selection(self, sel[start:stop])
+        if self._col_source is not None or self._typed_source is not None:
+            return RowBatch._selection(self, range(start, stop))
+        return RowBatch(self._rows[start:stop])
 
 
 def apply_batch_predicates(
@@ -99,16 +218,14 @@ def apply_batch_predicates(
     Mirrors the row interpreter's conjunct short-circuit: a row dropped by an
     earlier predicate is never evaluated by a later one (``all()`` stops at
     the first non-True in row mode), so errors a later predicate would raise
-    on filtered-out rows cannot surface in either mode.  The incoming batch
-    is reused (cached columns intact) when a predicate keeps every row.
+    on filtered-out rows cannot surface in either mode.  Compaction is
+    :meth:`RowBatch.filter` — the one selection-index seam — so no row-tuple
+    list is rebuilt between conjuncts.
     """
     for kernel in kernels:
         if batch.n == 0:
             return batch
-        mask = kernel(batch, outers)
-        kept = [row for row, flag in zip(batch.rows, mask) if flag is True]
-        if len(kept) != batch.n:
-            batch = RowBatch(kept)
+        batch = batch.filter(kernel(batch, outers))
     return batch
 
 
@@ -142,11 +259,25 @@ class BatchExpressionCompiler:
     function dispatch over argument columns); sub-query nodes additionally
     need ``prepare_subquery`` because they compile through the row
     interpreter (see the module docstring).
+
+    When the context exposes an engine database with typed columns enabled
+    (``context.database.vector.typed``), eligible kernels are additionally
+    compiled with a typed fast path and per-batch generic fallback; contexts
+    without a database (e.g. the cluster's post-merge evaluator, whose rows
+    never come from a base table) compile pure-generic kernels.
     """
 
     def __init__(self, scope: Scope, context) -> None:
         self.scope = scope
         self.context = context
+        database = getattr(context, "database", None)
+        vector = getattr(database, "vector", None) if database is not None else None
+        if vector is not None and getattr(vector, "typed", False):
+            self._typed = True
+            self._kernels = database.stats.kernels
+        else:
+            self._typed = False
+            self._kernels = None
 
     # -- public API ---------------------------------------------------------
 
@@ -234,6 +365,15 @@ class BatchExpressionCompiler:
         raise ExecutionError(f"unsupported operator {expr.op!r}")
 
     def _equality_kernel(self, expr: ast.BinaryOp, negated: bool) -> BatchKernel:
+        generic = self._generic_equality(expr, negated)
+        if self._typed:
+            op_src = "!=" if negated else "=="
+            typed = self._typed_predicate(expr.left, expr.right, op_src, generic)
+            if typed is not None:
+                return typed
+        return generic
+
+    def _generic_equality(self, expr: ast.BinaryOp, negated: bool) -> BatchKernel:
         const_side, value_side = _constant_operand(expr)
         if const_side is not None:
             value_k = self.compile(value_side)
@@ -254,6 +394,14 @@ class BatchExpressionCompiler:
         return kernel
 
     def _comparison_kernel(self, expr: ast.BinaryOp, op: str) -> BatchKernel:
+        generic = self._generic_comparison(expr, op)
+        if self._typed:
+            typed = self._typed_predicate(expr.left, expr.right, op, generic)
+            if typed is not None:
+                return typed
+        return generic
+
+    def _generic_comparison(self, expr: ast.BinaryOp, op: str) -> BatchKernel:
         right_lit = _fold_literal(expr.right)
         if right_lit is not None and right_lit.value is not None:
             value_k = self.compile(expr.left)
@@ -278,6 +426,19 @@ class BatchExpressionCompiler:
         return kernel
 
     def _arithmetic_kernel(self, expr: ast.BinaryOp, op: str) -> BatchKernel:
+        generic = self._generic_arithmetic(expr, op)
+        if self._typed:
+            slot_vars: dict[int, int] = {}
+            try:
+                dense, selected = self._typed_render(expr, slot_vars)
+            except _TypedUnsupported:
+                return generic
+            if slot_vars:
+                plan = self._typed_plan(dense, selected, slot_vars)
+                return self._typed_numeric_kernel(plan, generic)
+        return generic
+
+    def _generic_arithmetic(self, expr: ast.BinaryOp, op: str) -> BatchKernel:
         folded = _fold_literal(expr)
         if folded is not None:
             return self._compile_literal(folded)
@@ -372,6 +533,10 @@ class BatchExpressionCompiler:
                         append(_in_list_slow(value, items, negated))
                 return out
 
+            if self._typed and family == (int, float):
+                slot = self._depth0_slot(expr.expr)
+                if slot is not None:
+                    return self._typed_inlist(slot, members, saw_null, negated, fast)
             return fast
 
         def kernel(batch: RowBatch, outers: tuple) -> list:
@@ -383,6 +548,14 @@ class BatchExpressionCompiler:
         return kernel
 
     def _compile_between(self, expr: ast.Between) -> BatchKernel:
+        generic = self._generic_between(expr)
+        if self._typed:
+            typed = self._typed_between(expr, generic)
+            if typed is not None:
+                return typed
+        return generic
+
+    def _generic_between(self, expr: ast.Between) -> BatchKernel:
         value_k = self.compile(expr.expr)
         low_lit = _fold_literal(expr.low)
         high_lit = _fold_literal(expr.high)
@@ -545,6 +718,370 @@ class BatchExpressionCompiler:
 
     def _compile_exists(self, expr: ast.Exists) -> BatchKernel:
         return self._rowwise(expr)
+
+    # -- typed-column specialization ----------------------------------------
+    #
+    # Eligible expression shapes are code-generated into three loop variants
+    # over typed payloads (dense, selected, null-aware); the compiled kernel
+    # checks the batch's typed columns at run time and falls back to its
+    # generic twin per batch, so a plan serves scans and join intermediates
+    # alike.  Bit-identity holds because typed payloads round-trip their
+    # values exactly and the generated operators are the same Python
+    # operators the generic fast paths would have applied.
+
+    def _depth0_slot(self, expr: ast.Expression) -> Optional[int]:
+        """The storage slot of a depth-0 column reference, else ``None``."""
+        if not isinstance(expr, ast.Column):
+            return None
+        resolved = self.scope.resolve(expr.name, expr.table)
+        if resolved is None or resolved[0] != 0:
+            return None
+        return resolved[1]
+
+    def _typed_render(
+        self, expr: ast.Expression, slot_vars: dict[int, int]
+    ) -> tuple[str, str]:
+        """Render a provably numeric subtree as ``(dense, selected)`` source.
+
+        Dense fragments are in terms of loop variables ``v<k>``, selected
+        fragments index payloads ``c<k>[i]``; ``slot_vars`` accumulates the
+        storage-slot -> variable mapping.  Constants embed via ``repr`` —
+        exact for ``int`` and round-tripping for ``float``.  Division only
+        renders with a non-zero literal divisor (a zero divisor must keep
+        the row interpreter's runtime ``ExecutionError``).  Anything not
+        provably numeric raises :class:`_TypedUnsupported`.
+        """
+        folded = _fold_literal(expr)
+        if folded is not None:
+            if not _is_plain_number(folded.value):
+                raise _TypedUnsupported
+            text = repr(folded.value)
+            return text, text
+        if isinstance(expr, ast.Column):
+            slot = self._depth0_slot(expr)
+            if slot is None:
+                raise _TypedUnsupported
+            var = slot_vars.setdefault(slot, len(slot_vars))
+            return f"v{var}", f"c{var}[i]"
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            dense, selected = self._typed_render(expr.operand, slot_vars)
+            return f"(-{dense})", f"(-{selected})"
+        if isinstance(expr, ast.BinaryOp):
+            op = expr.op
+            if op in ("+", "-", "*"):
+                left_d, left_s = self._typed_render(expr.left, slot_vars)
+                right_d, right_s = self._typed_render(expr.right, slot_vars)
+                return f"({left_d} {op} {right_d})", f"({left_s} {op} {right_s})"
+            if op == "/":
+                divisor = _fold_literal(expr.right)
+                if (
+                    divisor is None
+                    or not _is_plain_number(divisor.value)
+                    or divisor.value == 0
+                ):
+                    raise _TypedUnsupported
+                left_d, left_s = self._typed_render(expr.left, slot_vars)
+                text = repr(divisor.value)
+                return f"({left_d} / {text})", f"({left_s} / {text})"
+        raise _TypedUnsupported
+
+    def _typed_plan(
+        self, dense_body: str, selected_body: str, slot_vars: dict[int, int]
+    ) -> "_TypedPlan":
+        """``exec`` the three loop variants for one rendered expression."""
+        slots = [0] * len(slot_vars)
+        for slot, var in slot_vars.items():
+            slots[var] = slot
+        count = len(slots)
+        args = ", ".join(f"c{k}" for k in range(count))
+        if count == 1:
+            dense_src = f"def dense(c0):\n    return [{dense_body} for v0 in c0]\n"
+        else:
+            unpack = ", ".join(f"v{k}" for k in range(count))
+            dense_src = (
+                f"def dense({args}):\n"
+                f"    return [{dense_body} for {unpack} in zip({args})]\n"
+            )
+        selected_src = (
+            f"def selected({args}, sel):\n    return [{selected_body} for i in sel]\n"
+        )
+        nullaware_src = (
+            f"def nullaware({args}, sel, nulls):\n"
+            f"    return [None if i in nulls else {selected_body} for i in sel]\n"
+        )
+        namespace: dict[str, Any] = {}
+        exec(  # noqa: S102 - source assembled from vetted fragments only
+            compile(dense_src + selected_src + nullaware_src, "<typed-kernel>", "exec"),
+            {"__builtins__": {}, "zip": zip},
+            namespace,
+        )
+        return _TypedPlan(
+            slots, namespace["dense"], namespace["selected"], namespace["nullaware"]
+        )
+
+    def _typed_numeric_kernel(
+        self, plan: "_TypedPlan", generic: BatchKernel
+    ) -> BatchKernel:
+        """Wrap a typed plan with the per-batch numeric guard + fallback."""
+        slots = plan.slots
+        dense = plan.dense
+        selected = plan.selected
+        nullaware = plan.nullaware
+        counters = self._kernels
+
+        def kernel(batch: RowBatch, outers: tuple) -> list:
+            payloads = []
+            nulls = None
+            for slot in slots:
+                typed = batch.typed_column(slot)
+                if typed is None or typed.kind not in NUMERIC_KINDS:
+                    counters.generic += 1
+                    return generic(batch, outers)
+                payloads.append(typed.values)
+                if typed.nulls is not None:
+                    nulls = typed.nulls if nulls is None else nulls | typed.nulls
+            counters.typed += 1
+            sel = batch.sel
+            if nulls is not None:
+                return nullaware(
+                    *payloads, sel if sel is not None else range(batch.n), nulls
+                )
+            if sel is None:
+                return dense(*payloads)
+            return selected(*payloads, sel)
+
+        return kernel
+
+    def _typed_predicate(
+        self,
+        left: ast.Expression,
+        right: ast.Expression,
+        op_src: str,
+        generic: BatchKernel,
+    ) -> Optional[BatchKernel]:
+        """Typed kernel for ``left OP right``: numeric codegen, else dates."""
+        slot_vars: dict[int, int] = {}
+        try:
+            left_d, left_s = self._typed_render(left, slot_vars)
+            right_d, right_s = self._typed_render(right, slot_vars)
+        except _TypedUnsupported:
+            return self._typed_date_compare(left, right, op_src, generic)
+        if not slot_vars:
+            return None
+        plan = self._typed_plan(
+            f"({left_d} {op_src} {right_d})",
+            f"({left_s} {op_src} {right_s})",
+            slot_vars,
+        )
+        return self._typed_numeric_kernel(plan, generic)
+
+    def _typed_date_compare(
+        self,
+        left: ast.Expression,
+        right: ast.Expression,
+        op_src: str,
+        generic: BatchKernel,
+    ) -> Optional[BatchKernel]:
+        """``date_column OP DATE-literal`` reduced to day-ordinal compares.
+
+        :class:`~repro.sql.types.Date` is ordered by its single ``days``
+        field, so comparing ordinals is exactly comparing dates.  A literal
+        on the left flips to the mirrored operator so the loop always runs
+        ``op(value, const)``.
+        """
+        py_op = _PY_OP_BY_SRC[op_src]
+        slot = self._depth0_slot(left)
+        const = _fold_literal(right)
+        if slot is None or const is None or type(const.value) is not Date:
+            slot = self._depth0_slot(right)
+            const = _fold_literal(left)
+            if slot is None or const is None or type(const.value) is not Date:
+                return None
+            py_op = _MIRRORED_OPS[py_op]
+        const_days = const.value.days
+        counters = self._kernels
+
+        def kernel(batch: RowBatch, outers: tuple) -> list:
+            typed = batch.typed_column(slot)
+            if typed is None or typed.kind != "date":
+                counters.generic += 1
+                return generic(batch, outers)
+            counters.typed += 1
+            values = typed.values
+            sel = batch.sel
+            if typed.nulls is None:
+                if sel is None:
+                    return [py_op(value, const_days) for value in values]
+                return [py_op(values[i], const_days) for i in sel]
+            nulls = typed.nulls
+            if sel is None:
+                sel = range(batch.n)
+            return [
+                None if i in nulls else py_op(values[i], const_days) for i in sel
+            ]
+
+        return kernel
+
+    def _typed_between(
+        self, expr: ast.Between, generic: BatchKernel
+    ) -> Optional[BatchKernel]:
+        """Typed ``x BETWEEN low AND high`` for numeric or date shapes."""
+        low = _fold_literal(expr.low)
+        high = _fold_literal(expr.high)
+        if low is None or high is None:
+            return None
+        if _is_plain_number(low.value) and _is_plain_number(high.value):
+            slot_vars: dict[int, int] = {}
+            try:
+                dense, selected = self._typed_render(expr.expr, slot_vars)
+            except _TypedUnsupported:
+                return None
+            if not slot_vars:
+                return None
+            dense_body = f"({low.value!r} <= {dense} <= {high.value!r})"
+            selected_body = f"({low.value!r} <= {selected} <= {high.value!r})"
+            if expr.negated:
+                dense_body = f"(not {dense_body})"
+                selected_body = f"(not {selected_body})"
+            plan = self._typed_plan(dense_body, selected_body, slot_vars)
+            return self._typed_numeric_kernel(plan, generic)
+        if type(low.value) is Date and type(high.value) is Date:
+            slot = self._depth0_slot(expr.expr)
+            if slot is None:
+                return None
+            return self._typed_date_between(
+                slot, low.value.days, high.value.days, expr.negated, generic
+            )
+        return None
+
+    def _typed_date_between(
+        self,
+        slot: int,
+        low_days: int,
+        high_days: int,
+        negated: bool,
+        generic: BatchKernel,
+    ) -> BatchKernel:
+        """``date_column BETWEEN DATE-literals`` over day ordinals."""
+        counters = self._kernels
+
+        def kernel(batch: RowBatch, outers: tuple) -> list:
+            typed = batch.typed_column(slot)
+            if typed is None or typed.kind != "date":
+                counters.generic += 1
+                return generic(batch, outers)
+            counters.typed += 1
+            values = typed.values
+            sel = batch.sel
+            if typed.nulls is None:
+                if sel is None:
+                    if negated:
+                        return [
+                            not (low_days <= value <= high_days) for value in values
+                        ]
+                    return [low_days <= value <= high_days for value in values]
+                if negated:
+                    return [not (low_days <= values[i] <= high_days) for i in sel]
+                return [low_days <= values[i] <= high_days for i in sel]
+            nulls = typed.nulls
+            if sel is None:
+                sel = range(batch.n)
+            if negated:
+                return [
+                    None if i in nulls else not (low_days <= values[i] <= high_days)
+                    for i in sel
+                ]
+            return [
+                None if i in nulls else (low_days <= values[i] <= high_days)
+                for i in sel
+            ]
+
+        return kernel
+
+    def _typed_inlist(
+        self,
+        slot: int,
+        members: set,
+        saw_null: bool,
+        negated: bool,
+        generic: BatchKernel,
+    ) -> BatchKernel:
+        """Typed set-membership for a numeric column against numeric literals."""
+        counters = self._kernels
+
+        def kernel(batch: RowBatch, outers: tuple) -> list:
+            typed = batch.typed_column(slot)
+            if typed is None or typed.kind not in NUMERIC_KINDS:
+                counters.generic += 1
+                return generic(batch, outers)
+            counters.typed += 1
+            values = typed.values
+            sel = batch.sel
+            nulls = typed.nulls
+            if nulls is None and not saw_null:
+                if sel is None:
+                    return [(value in members) != negated for value in values]
+                return [(values[i] in members) != negated for i in sel]
+            if sel is None:
+                sel = range(batch.n)
+            out = []
+            append = out.append
+            for i in sel:
+                if nulls is not None and i in nulls:
+                    append(None)
+                elif values[i] in members:
+                    append(not negated)
+                elif saw_null:
+                    append(None)
+                else:
+                    append(negated)
+            return out
+
+        return kernel
+
+
+class _TypedUnsupported(Exception):
+    """Internal: a subtree cannot compile into a typed numeric kernel."""
+
+
+class _TypedPlan:
+    """A codegen'd kernel triple over typed payloads for one expression.
+
+    ``slots`` are the storage column indexes feeding the expression (in
+    payload-argument order); ``dense`` evaluates full payloads in one zip
+    loop, ``selected`` evaluates the payload positions of a selection
+    array, and ``nullaware`` additionally yields ``None`` at positions in
+    a null set (the union of the referenced columns' null sets — every
+    generated operator is NULL-strict, so any NULL operand nulls the row).
+    """
+
+    __slots__ = ("slots", "dense", "selected", "nullaware")
+
+    def __init__(self, slots, dense, selected, nullaware) -> None:
+        self.slots = slots
+        self.dense = dense
+        self.selected = selected
+        self.nullaware = nullaware
+
+
+_PY_OP_BY_SRC = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: op(a, b) == mirrored_op(b, a) — used to flip const-on-the-left compares
+_MIRRORED_OPS = {
+    operator.lt: operator.gt,
+    operator.le: operator.ge,
+    operator.gt: operator.lt,
+    operator.ge: operator.le,
+    operator.eq: operator.eq,
+    operator.ne: operator.ne,
+}
 
 
 # ---------------------------------------------------------------------------

@@ -219,6 +219,34 @@ class StatementResult:
 ExecuteResult = Union[QueryResult, StatementResult]
 
 
+class KernelCounters:
+    """Running typed-vs-generic kernel dispatch tally for one engine.
+
+    Every specialization-capable batch kernel bumps ``typed`` when it ran a
+    :class:`~repro.engine.columns.TypedColumn` fast path and ``generic``
+    when it fell back to the object-list loop, so ``explain(analyze=True)``
+    can show *why* an operator was fast.  Increments are plain (unlocked)
+    ``+= 1`` on the hot path; under concurrent sessions the tallies are
+    best-effort, which is fine for a profiling aid.
+    """
+
+    __slots__ = ("typed", "generic")
+
+    def __init__(self) -> None:
+        self.typed = 0
+        self.generic = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        """The current ``(typed, generic)`` pair (for delta bookkeeping)."""
+        return (self.typed, self.generic)
+
+    def reset(self) -> None:
+        """Zero both tallies **in place** (compiled kernels keep references
+        to this object, so it must never be replaced wholesale)."""
+        self.typed = 0
+        self.generic = 0
+
+
 @dataclass
 class OperatorProfile:
     """Accumulated execution profile of one plan operator.
@@ -226,13 +254,17 @@ class OperatorProfile:
     Filled by the engine's executor as batches (or rows, in row-at-a-time
     mode) flow through an operator; rendered by ``MTConnection.explain()``
     next to the compile-side per-pass timings so compile cost and execution
-    cost are separable at a glance.
+    cost are separable at a glance.  ``typed_kernels`` / ``generic_kernels``
+    count specialization-capable kernel evaluations attributed to the
+    operator's stage (both stay 0 in row-at-a-time mode).
     """
 
     operator: str
     batches: int = 0
     rows: int = 0
     seconds: float = 0.0
+    typed_kernels: int = 0
+    generic_kernels: int = 0
 
     @property
     def rows_per_batch(self) -> float:
@@ -243,10 +275,13 @@ class OperatorProfile:
 
     def describe(self) -> str:
         """One human-readable profile line."""
-        return (
+        line = (
             f"{self.operator}: {self.rows} rows in {self.batches} batches "
             f"(avg {self.rows_per_batch:.1f} rows/batch, {self.seconds * 1000:.3f} ms)"
         )
+        if self.typed_kernels or self.generic_kernels:
+            line += f", kernels typed={self.typed_kernels} generic={self.generic_kernels}"
+        return line
 
 
 @dataclass
@@ -267,6 +302,11 @@ class ExecutionStats:
     subquery_runs: int = 0
     statements: int = 0
     operator_profiles: dict = field(default_factory=dict, compare=False)
+    #: typed-vs-generic kernel dispatch tally; identity-stable for the
+    #: engine's lifetime because compiled kernels close over it
+    kernels: KernelCounters = field(
+        default_factory=KernelCounters, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -286,12 +326,20 @@ class ExecutionStats:
             self.udf_cache_hits += 1 - executed
 
     def record_operator(
-        self, operator: str, rows: int, seconds: float, batches: int = 1
+        self,
+        operator: str,
+        rows: int,
+        seconds: float,
+        batches: int = 1,
+        typed_kernels: int = 0,
+        generic_kernels: int = 0,
     ) -> None:
         """Fold one measurement into an operator's profile.
 
         ``batches`` carries the number of bounded windows the operator
-        consumed (1 for row-at-a-time or single-batch stages).
+        consumed (1 for row-at-a-time or single-batch stages);
+        ``typed_kernels`` / ``generic_kernels`` the kernel-dispatch deltas
+        attributed to this stage.
         """
         with self._lock:
             profile = self.operator_profiles.get(operator)
@@ -301,6 +349,8 @@ class ExecutionStats:
             profile.batches += batches
             profile.rows += rows
             profile.seconds += seconds
+            profile.typed_kernels += typed_kernels
+            profile.generic_kernels += generic_kernels
 
     def operator_snapshot(self) -> list[OperatorProfile]:
         """A point-in-time copy of the operator profiles (insertion order)."""
@@ -311,6 +361,8 @@ class ExecutionStats:
                     batches=profile.batches,
                     rows=profile.rows,
                     seconds=profile.seconds,
+                    typed_kernels=profile.typed_kernels,
+                    generic_kernels=profile.generic_kernels,
                 )
                 for profile in self.operator_profiles.values()
             ]
@@ -324,3 +376,4 @@ class ExecutionStats:
             self.subquery_runs = 0
             self.statements = 0
             self.operator_profiles = {}
+            self.kernels.reset()

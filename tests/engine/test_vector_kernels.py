@@ -212,10 +212,14 @@ def test_env_batch_size_rejects_malformed_values(monkeypatch, bad):
 def test_vector_config_from_env(monkeypatch):
     monkeypatch.setenv("REPRO_ENGINE_VECTORIZE", "0")
     monkeypatch.setenv("REPRO_ENGINE_BATCH", "256")
+    monkeypatch.setenv("REPRO_ENGINE_TYPED", "0")
     config = VectorConfig.from_env()
-    assert config == VectorConfig(enabled=False, batch_size=256)
+    assert config == VectorConfig(enabled=False, batch_size=256, typed=False)
+    monkeypatch.setenv("REPRO_ENGINE_TYPED", "1")
+    assert VectorConfig.from_env().typed is True
     # keyword overrides win over the environment
     assert VectorConfig.from_env(enabled=True).batch_size == 256
+    assert VectorConfig.from_env(typed=False).typed is False
 
 
 def test_set_vectorize_flips_the_mode_and_replans():

@@ -1,10 +1,12 @@
-"""Differential suite: vectorized vs. row-at-a-time engine execution.
+"""Differential suite: typed vs. generic-vectorized vs. row execution.
 
 ``REPRO_ENGINE_VECTORIZE=0`` keeps the row-at-a-time interpreter around as
-the differential oracle for the batch kernels.  These tests load the *same*
-generated MT-H data into two engine instances — one vectorized (with a
-small batch size, so every query crosses batch boundaries), one row mode —
-and assert that every MT-H query, both scenarios, ``D' = {single, subset,
+the differential oracle for the batch kernels, and ``REPRO_ENGINE_TYPED=0``
+keeps the generic object-list kernels as the middle leg under the typed
+specialization layer.  These tests load the *same* generated MT-H data into
+three engine instances — typed-vectorized, generic-vectorized and row mode
+(with a small batch size, so every query crosses batch boundaries) — and
+assert that every MT-H query, both scenarios, ``D' = {single, subset,
 all}``, produces *exactly* identical results: same rows, same order, same
 float bits (the batch aggregates accumulate in row order on purpose, so no
 normalization is needed).
@@ -36,9 +38,9 @@ DATASETS = {
 SCENARIOS = ("uniform", "zipf")
 
 
-def _engine_instance(tiny_tpch_data, scenario: str, enabled: bool):
+def _engine_instance(tiny_tpch_data, scenario: str, enabled: bool, typed: bool = True):
     database = Database(
-        vector=VectorConfig(enabled=enabled, batch_size=BATCH)
+        vector=VectorConfig(enabled=enabled, batch_size=BATCH, typed=typed)
     )
     return load_mth(
         data=tiny_tpch_data,
@@ -49,11 +51,12 @@ def _engine_instance(tiny_tpch_data, scenario: str, enabled: bool):
 
 
 @pytest.fixture(scope="module", params=SCENARIOS)
-def engine_pair(request, tiny_tpch_data):
-    """The same MT-H data in a vectorized and a row-mode engine."""
-    vectorized = _engine_instance(tiny_tpch_data, request.param, enabled=True)
+def engine_trio(request, tiny_tpch_data):
+    """The same MT-H data in typed, generic-vectorized and row-mode engines."""
+    typed = _engine_instance(tiny_tpch_data, request.param, enabled=True)
+    generic = _engine_instance(tiny_tpch_data, request.param, enabled=True, typed=False)
     row_mode = _engine_instance(tiny_tpch_data, request.param, enabled=False)
-    return vectorized, row_mode
+    return typed, generic, row_mode
 
 
 def _connection(instance, scope: str, optimization: str = "o4"):
@@ -63,22 +66,26 @@ def _connection(instance, scope: str, optimization: str = "o4"):
 
 
 @pytest.mark.parametrize("query_id", ALL_QUERY_IDS)
-def test_mth_query_results_bit_identical(engine_pair, query_id):
-    vectorized, row_mode = engine_pair
+def test_mth_query_results_bit_identical(engine_trio, query_id):
+    typed, generic, row_mode = engine_trio
     text = query_text(query_id)
     for name, scope in DATASETS.items():
-        vector_result = _connection(vectorized, scope).query(text)
+        typed_result = _connection(typed, scope).query(text)
+        generic_result = _connection(generic, scope).query(text)
         row_result = _connection(row_mode, scope).query(text)
-        assert vector_result.columns == row_result.columns, (
+        assert typed_result.columns == generic_result.columns == row_result.columns, (
             f"Q{query_id} D'={name}: columns differ"
         )
-        assert vector_result.rows == row_result.rows, (
+        assert typed_result.rows == generic_result.rows, (
+            f"Q{query_id} D'={name}: typed kernels diverge from generic kernels"
+        )
+        assert generic_result.rows == row_result.rows, (
             f"Q{query_id} D'={name}: rows differ between execution modes"
         )
 
 
 @pytest.mark.parametrize("level", ["canonical", "o1"])
-def test_udf_counters_identical_across_modes(engine_pair, level):
+def test_udf_counters_identical_across_modes(engine_trio, level):
     """Memo-batched UDF dispatch keeps counter parity with row mode.
 
     At low optimization levels the conversion UDFs execute instead of being
@@ -86,28 +93,31 @@ def test_udf_counters_identical_across_modes(engine_pair, level):
     report the *same* call/execution/cache-hit counts the row mode reports
     (satellite #6: distinct conversion evaluations counted identically).
     """
-    vectorized, row_mode = engine_pair
+    typed, generic, row_mode = engine_trio
     for query_id in CONVERSION_INTENSIVE:
         text = query_text(query_id)
         counters = []
-        for instance in (vectorized, row_mode):
+        for instance in (typed, generic, row_mode):
             instance.middleware.backend.reset_stats()
             _connection(instance, "IN (1, 3)", optimization=level).query(text)
             stats = instance.middleware.backend.stats
             counters.append(
                 (stats.udf_calls, stats.udf_executions, stats.udf_cache_hits)
             )
-        assert counters[0] == counters[1], (
+        assert counters[0] == counters[1] == counters[2], (
             f"Q{query_id} at {level}: UDF counters diverge between modes"
         )
     # the suite exercised the conversion path at all
     assert counters[0][0] > 0
 
 
-def test_streaming_results_identical_across_modes(engine_pair):
-    """`execute_stream` yields the same rows in the same order in both modes."""
-    vectorized, row_mode = engine_pair
-    rewritten = _connection(vectorized, "IN ()").rewrite(query_text(6))
-    vector_stream = vectorized.middleware.backend.execute_stream(rewritten)
+def test_streaming_results_identical_across_modes(engine_trio):
+    """`execute_stream` yields the same rows in the same order in all modes."""
+    typed, generic, row_mode = engine_trio
+    rewritten = _connection(typed, "IN ()").rewrite(query_text(6))
+    typed_stream = typed.middleware.backend.execute_stream(rewritten)
+    generic_stream = generic.middleware.backend.execute_stream(rewritten)
     row_stream = row_mode.middleware.backend.execute_stream(rewritten)
-    assert vector_stream.materialize().rows == row_stream.materialize().rows
+    typed_rows = typed_stream.materialize().rows
+    assert typed_rows == generic_stream.materialize().rows
+    assert typed_rows == row_stream.materialize().rows

@@ -66,6 +66,7 @@ PUBLIC_MODULES = (
     "repro/server/client.py",
     "repro/server/loopback.py",
     "repro/engine/config.py",
+    "repro/engine/columns.py",
     "repro/engine/vector.py",
     "repro/mth/loader.py",
     "repro/bench/workload.py",
