@@ -20,15 +20,20 @@ terminal table.
 from __future__ import annotations
 
 import json
-import os
 
 import pytest
 
 from repro.bench.tables import TABLE_CONFIGS, time_query
-from repro.bench.workload import WorkloadConfig, load_workload
+from repro.bench.workload import (
+    WorkloadConfig,
+    env_full,
+    env_json,
+    env_scale_factor,
+    load_workload,
+)
 from repro.mth.queries import ALL_QUERY_IDS, query_text
 
-FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+FULL = env_full()
 
 #: records accumulated by :func:`record_benchmark`, flushed at session end
 _BENCH_RECORDS: list[dict] = []
@@ -46,9 +51,7 @@ def pytest_addoption(parser):
 
 
 def _bench_json_path(config) -> str | None:
-    return config.getoption("--bench-json", default=None) or os.environ.get(
-        "REPRO_BENCH_JSON"
-    ) or None
+    return config.getoption("--bench-json", default=None) or env_json()
 
 
 def record_benchmark(benchmark, name: str, **fields) -> None:
@@ -77,7 +80,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     payload = {
         "full": FULL,
-        "scale_factor": os.environ.get("REPRO_BENCH_SF"),
+        "scale_factor": env_scale_factor(default=None),
         "records": _BENCH_RECORDS,
     }
     with open(path, "w", encoding="utf-8") as handle:

@@ -6,15 +6,14 @@ levels while the number of tenants grows.  The paper sweeps 1 .. 100 000
 tenants at sf = 100; the micro-scale default sweeps 1 .. 100.
 """
 
-import os
 
 import pytest
 
-from repro.bench.workload import WorkloadConfig, load_workload
+from repro.bench.workload import WorkloadConfig, env_full, load_workload
 from repro.mth.queries import CONVERSION_INTENSIVE, query_text
 
 PROFILE = "system_c"
-TENANT_COUNTS = (1, 10, 100) if os.environ.get("REPRO_BENCH_FULL") != "1" else (1, 10, 100, 1000)
+TENANT_COUNTS = (1, 10, 100, 1000) if env_full() else (1, 10, 100)
 LEVELS = ("o4", "inl-only")
 
 

@@ -21,20 +21,20 @@ data) for the paper-style load experiment.
 from __future__ import annotations
 
 import asyncio
-import os
 import time
 import tracemalloc
 
 import pytest
 
+from repro.bench.workload import env_full, env_scale_factor
 from repro.gateway import ConcurrentExecutor, summarize
 from repro.errors import ServerBusyError
 from repro.mth.loader import load_mth
 from repro.server import ReproServer, ServerConfig, SyncSession
 from repro.server.client import AsyncSession
 
-FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
-SCALE = float(os.environ.get("REPRO_BENCH_SF", "") or 0.001)
+FULL = env_full()
+SCALE = env_scale_factor(0.001)
 TENANTS = 4
 #: concurrent network connections (the paper-style run uses >= 1k)
 CONNECTIONS = 1024 if FULL else 32

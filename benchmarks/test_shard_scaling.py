@@ -7,14 +7,13 @@ single-shard fast path.  Timings are reported next to the single-backend
 execution on the same data (``extra_info`` carries shards/dataset/plan).
 """
 
-import os
 
 import pytest
 
-from repro.bench.workload import WorkloadConfig, load_workload
+from repro.bench.workload import WorkloadConfig, env_full, load_workload
 from repro.mth.queries import query_text
 
-SHARD_COUNTS = (1, 2, 4) if os.environ.get("REPRO_BENCH_FULL") != "1" else (1, 2, 4, 8)
+SHARD_COUNTS = (1, 2, 4, 8) if env_full() else (1, 2, 4)
 
 #: scatter-gather (1, 6, 18), single-shard resident (11), federated (22)
 QUERY_IDS = (1, 6, 11, 18, 22)

@@ -263,7 +263,7 @@ def connect(
     ``MTBase.connect``/``QueryGateway.session``; ``profile`` only applies
     when a backend is created from a spec string.
 
-    When the ``REPRO_API_VIA_SERVER`` environment variable is truthy,
+    When the ``REPRO_API_VIA_SERVER`` environment variable is ``1``,
     middleware and gateway targets are transparently fronted by an
     in-process loopback :class:`~repro.server.ReproServer` — the connection
     then runs over a real TCP socket and the frame protocol with identical
@@ -330,8 +330,13 @@ def connect(
 
 
 def _via_loopback_server() -> bool:
-    """Whether ``REPRO_API_VIA_SERVER`` reroutes through a loopback server."""
-    if not os.environ.get("REPRO_API_VIA_SERVER", "").strip():
+    """Whether ``REPRO_API_VIA_SERVER`` reroutes through a loopback server.
+
+    A membership probe (not a value read — the env-knob linter's rule)
+    keeps the common case import-free; the strict parse lives in
+    :func:`repro.server.loopback.loopback_enabled`.
+    """
+    if "REPRO_API_VIA_SERVER" not in os.environ:
         return False  # the common case stays import-free
     from ..server.loopback import loopback_enabled
 

@@ -259,7 +259,13 @@ class ShardedConnection(BackendConnection):
                     self.plan_reuses += 1
         if plan is None:
             analysis = compiled.analysis if compiled is not None else None
-            plan = self.planner.plan(statement, shards, analysis=analysis)
+            facts = compiled.facts if compiled is not None else None
+            plan = self.planner.plan(
+                statement,
+                shards,
+                analysis=analysis,
+                column_owners=facts.column_owners if facts is not None else None,
+            )
             if memo_key is not None:
                 with self._lock:
                     compiled.attachments[memo_key] = plan

@@ -27,7 +27,7 @@ from ..mth.dbgen import TPCHData, generate
 from ..mth.loader import MTHInstance, load_mth, load_tpch_baseline
 
 
-def env_scale_factor(default: float) -> float:
+def env_scale_factor(default: Optional[float]) -> Optional[float]:
     """Scale factor override via ``REPRO_BENCH_SF`` (used by the pytest benches)."""
     value = os.environ.get("REPRO_BENCH_SF")
     if not value:
@@ -39,6 +39,47 @@ def env_scale_factor(default: float) -> float:
             f"the REPRO_BENCH_SF environment variable must be a number "
             f"(a TPC-H scale factor such as 0.002), got {value!r}"
         ) from exc
+
+
+def env_full(default: bool = False) -> bool:
+    """Full-sweep override via ``REPRO_BENCH_FULL`` (``0`` or ``1``).
+
+    ``1`` runs all 22 queries, all six optimization levels and the extended
+    tenant/shard sweeps; anything other than the two literal flags raises
+    :class:`~repro.errors.ConfigurationError` — a sweep that silently fell
+    back to the short grid would publish partial figures as if complete.
+    """
+    value = os.environ.get("REPRO_BENCH_FULL", "").strip()
+    if not value:
+        return default
+    if value == "1":
+        return True
+    if value == "0":
+        return False
+    raise ConfigurationError(
+        f"the REPRO_BENCH_FULL environment variable must be '0' or '1' "
+        f"(got {value!r})"
+    )
+
+
+def env_json(default: Optional[str] = None) -> Optional[str]:
+    """Summary-JSON path override via ``REPRO_BENCH_JSON``.
+
+    Returns the path the harness should write its per-query median-timing
+    summary to, or ``default`` when unset.  The parent directory must
+    already exist — failing at configuration time beats a full benchmark
+    sweep that dies on the final write.
+    """
+    value = os.environ.get("REPRO_BENCH_JSON", "").strip()
+    if not value:
+        return default
+    parent = os.path.dirname(value) or "."
+    if not os.path.isdir(parent):
+        raise ConfigurationError(
+            f"the REPRO_BENCH_JSON environment variable points into a "
+            f"missing directory {parent!r} (got {value!r})"
+        )
+    return value
 
 
 def env_backend(default: str = "engine") -> str:

@@ -229,6 +229,7 @@ class ClusterPlanner:
         select: ast.Select,
         shards: tuple[int, ...],
         analysis: Optional[QueryAnalysis] = None,
+        column_owners: Optional[dict[int, str]] = None,
     ) -> Plan:
         """Choose the execution strategy for one SELECT over ``shards``.
 
@@ -240,12 +241,22 @@ class ClusterPlanner:
         cluster, the precomputed verdicts (``partition_safe`` above all) are
         stale-conservative, so the planner re-analyses against its own
         catalog rather than silently downgrade scatter-gather to federated.
+
+        ``column_owners`` is the static analyzer's column-provenance map for
+        ``select`` (``CompiledQuery.facts.column_owners``): when the planner
+        does have to re-analyse, the walk resolves unqualified columns
+        through it instead of the any-binding heuristic.
         """
         if analysis is not None and set(analysis.unknown) & self.catalog.relations:
             analysis = None  # compiled against a catalog missing our tables
         reused = analysis is not None
         if analysis is None:
-            analysis = self.analyzer.analyze(select)
+            if column_owners:
+                analysis = ShardabilityAnalyzer(
+                    self.catalog, column_owners=column_owners
+                ).analyze(select)
+            else:
+                analysis = self.analyzer.analyze(select)
         with self._stats_lock:
             self.stats.plans += 1
             if reused:

@@ -14,6 +14,9 @@ artifact every layer consumes exactly once:
   per-pass records, backend attachment memo) and :class:`PassRecord`,
 * :mod:`repro.compile.analysis` — the tenant-local-key / shardability
   analysis shared with the cluster planner,
+* :mod:`repro.compile.typecheck` — the prepare-time static analyzer
+  (:class:`TypeChecker`) and the :class:`SemanticFacts` it proves: types,
+  nullability, bind-parameter slot types, column provenance,
 * :mod:`repro.compile.explain`  — the pass-by-pass report behind
   ``MTConnection.explain()``.
 
@@ -49,6 +52,14 @@ from .cost import (
     derive_table_prefilters,
     estimate_select,
     predicate_selectivity,
+)
+from .typecheck import (
+    SemanticFacts,
+    TypeChecker,
+    UDFSignature,
+    check_parameter_values,
+    env_typecheck,
+    schema_proven_not_null,
 )
 from .stats import (
     ColumnStats,
@@ -87,13 +98,19 @@ __all__ = [
     "PlanEstimate",
     "QueryAnalysis",
     "RefreshPolicy",
+    "SemanticFacts",
     "ShardabilityAnalyzer",
     "StatisticsCatalog",
     "StreamInfo",
     "TablePrefilter",
     "TableStats",
+    "TypeChecker",
+    "UDFSignature",
+    "check_parameter_values",
     "collect_table_stats",
     "conversion_census",
+    "env_typecheck",
+    "schema_proven_not_null",
     "derive_pull_columns",
     "derive_table_prefilters",
     "estimate_select",

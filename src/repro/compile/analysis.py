@@ -25,6 +25,7 @@ scatter-gather (see :class:`repro.backends.sharded.ShardedBackend`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sql import ast
 from ..sql.transform import (
@@ -179,10 +180,22 @@ class QueryAnalysis:
 
 
 class ShardabilityAnalyzer:
-    """Analyses rewritten SELECT statements against a partitioning catalog."""
+    """Analyses rewritten SELECT statements against a partitioning catalog.
 
-    def __init__(self, catalog: ClusterCatalog) -> None:
+    ``column_owners`` is the static analyzer's provenance map (``id(Column
+    node) -> owning FROM binding``, see :mod:`repro.compile.typecheck`): when
+    provided, unqualified column references resolve through it instead of the
+    any-binding heuristic, so a column name shared by a partitioned and a
+    replicated table is attributed to the binding that actually owns it.
+    """
+
+    def __init__(
+        self,
+        catalog: ClusterCatalog,
+        column_owners: Optional[dict[int, str]] = None,
+    ) -> None:
         self.catalog = catalog
+        self.column_owners = column_owners or {}
 
     # -- entry points ----------------------------------------------------------
 
@@ -307,6 +320,12 @@ class ShardabilityAnalyzer:
         name = expr.name.lower()
         if expr.table is not None:
             return name in bindings.get(expr.table.lower(), frozenset())
+        owner = self.column_owners.get(id(expr))
+        if owner is not None:
+            # provenance proven by the static analyzer: resolve against the
+            # owning binding only (it may not appear in ``bindings`` when the
+            # owner is a sibling level's binding — then the key is not local)
+            return name in bindings.get(owner, frozenset())
         return any(name in keys for keys in bindings.values())
 
     def _expression_subqueries_ok(

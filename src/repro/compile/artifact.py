@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.conversion import ConversionRegistry
     from ..core.optimizer.levels import OptimizationLevel
     from ..sql.params import ParameterSlot
+    from .typecheck import SemanticFacts
 
 
 def conversion_census(select: ast.Select, registry: "ConversionRegistry") -> dict[str, int]:
@@ -130,6 +131,11 @@ class CompiledQuery:
     conversions: ConversionCensus
     #: total compilation wall time
     seconds: float
+    #: what the static semantic analyzer proved about the statement
+    #: (``None`` when the checker is disabled, ``REPRO_COMPILE_TYPECHECK=0``);
+    #: the engine reads ``facts.proven_not_null`` to dispatch null-check-free
+    #: kernels, the client checks bind values against ``facts.parameter_types``
+    facts: Optional["SemanticFacts"] = field(default=None, repr=False, compare=False)
     #: backend-owned memo space for derived execution artifacts
     attachments: dict = field(default_factory=dict, repr=False, compare=False)
 

@@ -40,6 +40,7 @@ from ..sql.transform import count_nodes
 from .analysis import ClusterCatalog, PartitionInfo, ShardabilityAnalyzer
 from .artifact import CompiledQuery, ConversionCensus, PassRecord, conversion_census
 from .passes import applies_trivial, passes_for_level
+from .typecheck import SemanticFacts, TypeChecker, env_typecheck
 from ..core.optimizer.levels import OptimizationLevel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +72,9 @@ class QueryCompiler:
     def __init__(self, middleware: "MTBase") -> None:
         self.middleware = middleware
         self.stats = CompilerStats()
+        #: whether the prepare-time static analyzer runs (strict env knob
+        #: ``REPRO_COMPILE_TYPECHECK``); tests flip the attribute directly
+        self.typecheck = env_typecheck()
         self._lock = threading.Lock()
         self._catalog: Optional[ClusterCatalog] = None
         self._catalog_version: Optional[int] = None
@@ -156,6 +160,16 @@ class QueryCompiler:
         """
         started = time.perf_counter()
         parameters = statement_parameters(query)
+        checker: Optional[TypeChecker] = None
+        if self.typecheck:
+            # the static analyzer rejects ill-typed statements here — at
+            # prepare time, before the rewrite or any backend runs — and the
+            # walk's findings become the artifact's SemanticFacts below
+            checker = TypeChecker(
+                self.middleware.schema,
+                udf_signatures=self.middleware.udf_signatures,
+            )
+            checker.check(query)
         context = self.rewrite_context(client, dataset, level)
         records: list[PassRecord] = []
 
@@ -196,7 +210,16 @@ class QueryCompiler:
                 )
             )
 
-        analysis = ShardabilityAnalyzer(self.catalog()).analyze(current)
+        facts: Optional[SemanticFacts] = None
+        if checker is not None:
+            # provenance/nullability facts over the *rewritten* statement:
+            # the shardability walk reuses the column-owner map instead of
+            # its any-binding heuristic, the engine the proven-NOT-NULL sets
+            facts = checker.facts(current)
+        analysis = ShardabilityAnalyzer(
+            self.catalog(),
+            column_owners=facts.column_owners if facts is not None else None,
+        ).analyze(current)
         census_final = (
             census_canonical
             if current is canonical  # pass-less levels: nothing changed
@@ -221,6 +244,7 @@ class QueryCompiler:
                 canonical=census_canonical, final=census_final
             ),
             seconds=seconds,
+            facts=facts,
         )
 
     # -- maintenance -----------------------------------------------------------

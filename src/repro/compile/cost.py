@@ -103,34 +103,45 @@ class CostConfig:
 
 
 def predicate_selectivity(
-    expr: Optional[ast.Expression], stats: Optional[TableStats]
+    expr: Optional[ast.Expression],
+    stats: Optional[TableStats],
+    proven_not_null: Optional[frozenset] = None,
 ) -> float:
     """Estimated fraction of a table's rows satisfying ``expr``.
 
     ``expr`` is assumed to reference columns of the single table described
     by ``stats`` (qualifiers are ignored); with ``stats=None`` every leaf
-    predicate gets a magic-constant selectivity.  The result is clamped to
+    predicate gets a magic-constant selectivity.  ``proven_not_null`` is
+    the set of lower-cased column names the static analyzer proved never
+    NULL (see :mod:`repro.compile.typecheck`) — ``IS NULL`` tests on those
+    columns are exact (0 or 1), not estimated.  The result is clamped to
     ``[0, 1]``.
     """
-    return max(0.0, min(1.0, _selectivity(expr, stats)))
+    return max(0.0, min(1.0, _selectivity(expr, stats, proven_not_null)))
 
 
-def _selectivity(expr: Optional[ast.Expression], stats: Optional[TableStats]) -> float:
+def _selectivity(
+    expr: Optional[ast.Expression],
+    stats: Optional[TableStats],
+    proven: Optional[frozenset] = None,
+) -> float:
     if expr is None:
         return 1.0
     if isinstance(expr, ast.BinaryOp):
         op = expr.op.upper()
         if op == "AND":
-            return _selectivity(expr.left, stats) * _selectivity(expr.right, stats)
+            return _selectivity(expr.left, stats, proven) * _selectivity(
+                expr.right, stats, proven
+            )
         if op == "OR":
-            left = _selectivity(expr.left, stats)
-            right = _selectivity(expr.right, stats)
+            left = _selectivity(expr.left, stats, proven)
+            right = _selectivity(expr.right, stats, proven)
             return left + right - left * right
         if op in ("=", "<>", "<", "<=", ">", ">="):
             return _comparison_selectivity(expr, stats)
         return DEFAULT_SELECTIVITY
     if isinstance(expr, ast.UnaryOp) and expr.op.upper() == "NOT":
-        return 1.0 - _selectivity(expr.operand, stats)
+        return 1.0 - _selectivity(expr.operand, stats, proven)
     if isinstance(expr, ast.Between):
         low = _comparison_parts(expr.expr, expr.low, ">=", stats)
         high = _comparison_parts(expr.expr, expr.high, "<=", stats)
@@ -156,7 +167,7 @@ def _selectivity(expr: Optional[ast.Expression], stats: Optional[TableStats]) ->
             chosen = LIKE_INFIX_SELECTIVITY
         return 1.0 - chosen if expr.negated else chosen
     if isinstance(expr, ast.IsNull):
-        fraction = _null_fraction(expr.expr, stats)
+        fraction = _null_fraction(expr.expr, stats, proven)
         return 1.0 - fraction if expr.negated else fraction
     return DEFAULT_SELECTIVITY
 
@@ -245,11 +256,20 @@ def _in_list_selectivity(expr: ast.InList, stats: Optional[TableStats]) -> float
     return 1.0 - chosen if expr.negated else chosen
 
 
-def _null_fraction(expr: ast.Expression, stats: Optional[TableStats]) -> float:
-    if isinstance(expr, ast.Column) and stats is not None and stats.row_count:
-        column_stats = stats.column(expr.name)
-        if column_stats is not None:
-            return column_stats.null_count / stats.row_count
+def _null_fraction(
+    expr: ast.Expression,
+    stats: Optional[TableStats],
+    proven: Optional[frozenset] = None,
+) -> float:
+    if isinstance(expr, ast.Column):
+        # A proven-NOT-NULL column is exact, not an estimate: the analyzer
+        # guarantees no stored value is NULL, so IS NULL keeps nothing.
+        if proven is not None and expr.name.lower() in proven:
+            return 0.0
+        if stats is not None and stats.row_count:
+            column_stats = stats.column(expr.name)
+            if column_stats is not None:
+                return column_stats.null_count / stats.row_count
     return 0.05
 
 
@@ -434,11 +454,15 @@ def estimate_select(
     select: ast.Select,
     statistics: Optional[StatisticsCatalog],
     columns_of: Optional[Mapping[str, Sequence[str]]] = None,
+    proven_not_null: Optional[Mapping[str, frozenset]] = None,
 ) -> PlanEstimate:
     """Build the estimated plan tree of one SELECT.
 
     ``columns_of`` (base table → column names) sharpens unqualified-column
     resolution; when omitted it is reconstructed from the statistics.
+    ``proven_not_null`` (lower-cased base table → lower-cased column names)
+    carries the static analyzer's nullability proof so ``IS NULL`` scans
+    get exact rather than estimated selectivities.
     """
     if columns_of is None:
         columns_of = {
@@ -459,7 +483,12 @@ def estimate_select(
                 statistics.table(item.name) if statistics is not None else None
             )
             base = float(table_stats.row_count) if table_stats else DEFAULT_TABLE_ROWS
-            selectivity = predicate_selectivity(predicate, table_stats)
+            proven = (
+                proven_not_null.get(item.name.lower())
+                if proven_not_null is not None
+                else None
+            )
+            selectivity = predicate_selectivity(predicate, table_stats, proven)
             sources.append(
                 PlanEstimate(
                     kind="scan",
@@ -471,7 +500,7 @@ def estimate_select(
                 )
             )
         elif isinstance(item, ast.SubqueryRef):
-            child = estimate_select(item.query, statistics, columns_of)
+            child = estimate_select(item.query, statistics, columns_of, proven_not_null)
             selectivity = predicate_selectivity(predicate, None)
             sources.append(
                 PlanEstimate(

@@ -187,6 +187,7 @@ class MTConnection:
             raise MTSQLError("query_stream() expects a SELECT statement")
         values = resolve_parameters(statement_parameters(statement), parameters)
         compiled = self.compile(statement)
+        self._check_bind_values(compiled, values)
         self.last_rewritten = [compiled.rewritten]
         return self.backend.execute_stream(
             compiled.rewritten,
@@ -317,7 +318,10 @@ class MTConnection:
         statistics_of = getattr(self.backend, "statistics", None)
         if statistics_of is None:
             return None
-        return estimate_select(compiled.rewritten, statistics_of())
+        proven = compiled.facts.proven_not_null if compiled.facts is not None else None
+        return estimate_select(
+            compiled.rewritten, statistics_of(), proven_not_null=proven
+        )
 
     def _analyze_operators(
         self, compiled: "CompiledQuery", parameters: Optional[Sequence]
@@ -351,6 +355,9 @@ class MTConnection:
                 generic = profile.generic_kernels - (
                     prior.generic_kernels if prior else 0
                 )
+                proven = profile.proven_kernels - (
+                    prior.proven_kernels if prior else 0
+                )
                 if batches > 0 or rows > 0:
                     operators.append(
                         OperatorProfile(
@@ -360,6 +367,7 @@ class MTConnection:
                             seconds=seconds,
                             typed_kernels=typed,
                             generic_kernels=generic,
+                            proven_kernels=proven,
                         )
                     )
         return operators, actual_rows
@@ -378,6 +386,7 @@ class MTConnection:
 
     def _execute_query(self, query: ast.Select, parameters: tuple = ()) -> QueryResult:
         compiled = self.compile(query)
+        self._check_bind_values(compiled, parameters)
         self.last_rewritten = [compiled.rewritten]
         # D' is routing metadata: a sharded backend prunes its fan-out to the
         # shards owning these tenants (single-database backends ignore it);
@@ -389,6 +398,23 @@ class MTConnection:
             parameters=parameters or None,
             compiled=compiled,
         )
+
+    @staticmethod
+    def _check_bind_values(compiled: "CompiledQuery", values: tuple) -> None:
+        """Check bind values against the analyzer's inferred slot types.
+
+        A mistyped value (say a string bound into a slot compared with an
+        INTEGER column) fails here with a
+        :class:`~repro.errors.TypeCheckError` naming the slot, instead of
+        surfacing as a coercion surprise deep in the engine.  No-op when the
+        typechecker was disabled (``compiled.facts is None``).
+        """
+        facts = compiled.facts
+        if facts is None or not values or not facts.parameter_types:
+            return
+        from ..compile.typecheck import check_parameter_values
+
+        check_parameter_values(facts.parameter_types, tuple(values))
 
     def prune_dataset(
         self,

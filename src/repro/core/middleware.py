@@ -48,10 +48,15 @@ class MTBase:
             raise MTSQLError("pass either database= (engine shortcut) or backend=, not both")
         # local import: repro.compile builds on repro.core's rewrite/optimizer
         from ..compile.compiler import QueryCompiler
+        from ..compile.typecheck import UDFSignature
 
         #: the execution backend all statements are sent to
         self.backend: BackendConnection = as_backend_connection(backend, profile=profile)
         self.schema = MTSchema()
+        #: declared UDF signatures (``CREATE FUNCTION`` DDL), consumed by the
+        #: static analyzer; functions registered directly on the backend
+        #: (``register_sql_function``) are deliberately absent and unchecked
+        self.udf_signatures: dict[str, UDFSignature] = {}
         self.conversions = ConversionRegistry()
         self.privileges = PrivilegeManager()
         self.default_optimization = default_optimization
@@ -172,6 +177,12 @@ class MTBase:
             return self.create_table(statement, ttid_column=ttid_column)
         if isinstance(statement, (ast.CreateFunction, ast.CreateView)):
             result = self.backend.execute(statement)
+            if isinstance(statement, ast.CreateFunction):
+                from ..compile.typecheck import UDFSignature
+
+                self.udf_signatures[statement.name.lower()] = UDFSignature.from_create(
+                    statement
+                )
             self.notify_metadata_change("ddl")
             return result
         if isinstance(statement, (ast.DropTable, ast.DropView)):

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..errors import CatalogError, MTSQLError
+from ..errors import CatalogError, MTSQLError, TypeMismatchError
 from ..sql import ast
+from ..sql.types import SQLType
 
 DEFAULT_TTID_COLUMN = "ttid"
 
@@ -25,6 +26,11 @@ class AttributeInfo:
     name: str
     comparability: ast.Comparability
     conversion: Optional[str] = None  # name of the registered conversion pair
+    #: declared SQL type (None when the DDL used a type this catalog
+    #: does not model — the static analyzer then treats it as unknown)
+    sql_type: Optional[SQLType] = None
+    #: declared NOT NULL — storage enforces it, so non-nullness is *proven*
+    not_null: bool = False
 
     @property
     def key(self) -> str:
@@ -125,8 +131,16 @@ class MTSchema:
                     raise MTSQLError(
                         f"convertible attribute {column.name!r} needs a conversion pair"
                     )
+            try:
+                sql_type: Optional[SQLType] = SQLType.from_name(column.type_name)
+            except TypeMismatchError:
+                sql_type = None
             attributes[column.name.lower()] = AttributeInfo(
-                name=column.name, comparability=comparability, conversion=conversion
+                name=column.name,
+                comparability=comparability,
+                conversion=conversion,
+                sql_type=sql_type,
+                not_null=column.not_null,
             )
         info = TableInfo(
             name=statement.name,
@@ -178,5 +192,8 @@ class MTSchema:
             if self.has_table(table_name) and self.table(table_name).has_attribute(attribute_name)
         ]
         if len(owners) > 1:
-            raise MTSQLError(f"ambiguous attribute reference {attribute_name!r}")
+            raise MTSQLError(
+                f"ambiguous attribute reference {attribute_name!r}: "
+                f"defined in tables {', '.join(sorted(owners))}"
+            )
         return owners[0] if owners else None

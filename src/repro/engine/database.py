@@ -94,13 +94,21 @@ class Database:
 
     # -- statement execution --------------------------------------------------
 
-    def execute(self, statement: Union[str, ast.Statement]) -> ExecuteResult:
-        """Execute one statement (SQL text or an already-parsed AST node)."""
+    def execute(
+        self, statement: Union[str, ast.Statement], facts=None
+    ) -> ExecuteResult:
+        """Execute one statement (SQL text or an already-parsed AST node).
+
+        ``facts`` carries the compiler's
+        :class:`~repro.compile.typecheck.SemanticFacts`; for SELECTs the
+        planner uses its proven-NOT-NULL sets to pick null-check-free
+        kernel variants.  Other statement types ignore it.
+        """
         if isinstance(statement, str):
             statement = parse_statement(statement)
         self.stats.add(statements=1)
         if isinstance(statement, ast.Select):
-            return self.executor.execute(statement)
+            return self.executor.execute(statement, facts=facts)
         if isinstance(statement, ast.CreateTable):
             with self._write_lock:
                 execute_create_table(self.catalog, statement)
@@ -151,18 +159,21 @@ class Database:
         """Execute a ``;``-separated script, returning one result per statement."""
         return [self.execute(statement) for statement in parse_statements(sql)]
 
-    def execute_stream(self, statement: Union[str, ast.Select]) -> RowStream:
+    def execute_stream(
+        self, statement: Union[str, ast.Select], facts=None
+    ) -> RowStream:
         """Execute a SELECT as a lazily produced row stream.
 
         See :meth:`repro.engine.executor.Executor.execute_stream`; the
-        statement counter ticks at call time, like :meth:`execute`.
+        statement counter ticks at call time, like :meth:`execute`, and
+        ``facts`` selects proven kernel variants the same way.
         """
         if isinstance(statement, str):
             statement = parse_statement(statement)
         if not isinstance(statement, ast.Select):
             raise ExecutionError("execute_stream() expects a SELECT statement")
         self.stats.add(statements=1)
-        return self.executor.execute_stream(statement)
+        return self.executor.execute_stream(statement, facts=facts)
 
     def query(self, sql: Union[str, ast.Select]) -> QueryResult:
         """Execute a SELECT and return its :class:`QueryResult`."""

@@ -138,18 +138,29 @@ class ExecutionContext:
 
     # -- sub-queries -----------------------------------------------------------
 
-    def prepare_subquery(self, select: ast.Select, parent_scope: Optional[Scope]) -> "PreparedSelect":
-        return self.executor.prepare(select, parent_scope)
+    def prepare_subquery(
+        self, select: ast.Select, parent_scope: Optional[Scope], facts=None
+    ) -> "PreparedSelect":
+        # facts flow into sub-plans because proven-NOT-NULL sets are keyed by
+        # base-table name — schema truths, valid at any nesting depth
+        return self.executor.prepare(select, parent_scope, facts=facts)
 
 
 class PreparedSelect:
     """A fully compiled SELECT plan, runnable for any outer-row context."""
 
-    def __init__(self, executor: "Executor", select: ast.Select, parent_scope: Optional[Scope]) -> None:
+    def __init__(
+        self,
+        executor: "Executor",
+        select: ast.Select,
+        parent_scope: Optional[Scope],
+        facts=None,
+    ) -> None:
         self._executor = executor
         self._context = executor.context
         self._select = select
         self._parent_scope = parent_scope
+        self._facts = facts
         self._cache_rows: Optional[list[tuple]] = None
         self._cache_value_set: Optional[ValueSet] = None
         self._scopes: list[Scope] = []
@@ -166,7 +177,7 @@ class PreparedSelect:
         # operator profiles are recorded for top-level statements only;
         # per-outer-row sub-query runs would drown the profile in lock traffic
         self._profile_ops = self._parent_scope is None
-        planner = Planner(self._context, self._parent_scope)
+        planner = Planner(self._context, self._parent_scope, facts=self._facts)
         self._pipeline, self._scope, subquery_conjuncts = planner.plan(select)
         self._scopes.extend(planner.created_scopes)
         self._children.extend(self._pipeline.children())
@@ -448,11 +459,11 @@ class PreparedSelect:
         batch_size = self._vector.batch_size
         if profiled:
             kernels = stats.kernels
-            marks = [perf_counter(), kernels.typed, kernels.generic]
+            marks = [perf_counter(), kernels.typed, kernels.generic, kernels.proven]
 
             def record(operator: str, rows_count: int, batches: int = 1) -> None:
                 # each stage's profile carries the wall time and the
-                # typed/generic kernel dispatches since the previous mark
+                # typed/generic/proven kernel dispatches since the previous mark
                 now = perf_counter()
                 stats.record_operator(
                     operator,
@@ -461,10 +472,12 @@ class PreparedSelect:
                     batches=batches,
                     typed_kernels=kernels.typed - marks[1],
                     generic_kernels=kernels.generic - marks[2],
+                    proven_kernels=kernels.proven - marks[3],
                 )
                 marks[0] = now
                 marks[1] = kernels.typed
                 marks[2] = kernels.generic
+                marks[3] = kernels.proven
 
         if self._vectorized:
             batch = self._pipeline.execute_batch(outers)
@@ -692,23 +705,25 @@ class Executor:
         self._function_body_plans: dict[str, PreparedSelect] = {}
         self._plans_lock = threading.Lock()
 
-    def execute(self, select: ast.Select) -> QueryResult:
-        prepared = self.prepare(select, None)
+    def execute(self, select: ast.Select, facts=None) -> QueryResult:
+        prepared = self.prepare(select, None, facts=facts)
         rows = prepared.run(())
         return QueryResult(columns=prepared.output_columns, rows=rows)
 
-    def execute_stream(self, select: ast.Select) -> RowStream:
+    def execute_stream(self, select: ast.Select, facts=None) -> RowStream:
         """Execute a SELECT as a lazily produced :class:`RowStream`.
 
         Streamable shapes (see :attr:`PreparedSelect.streamable`) yield their
         first row without materializing the result; barrier shapes (grouping,
         ``ORDER BY``, ``DISTINCT``) materialize internally and replay.
         """
-        prepared = self.prepare(select, None)
+        prepared = self.prepare(select, None, facts=facts)
         return RowStream(columns=prepared.output_columns, rows=prepared.stream(()))
 
-    def prepare(self, select: ast.Select, parent_scope: Optional[Scope]) -> PreparedSelect:
-        return PreparedSelect(self, select, parent_scope)
+    def prepare(
+        self, select: ast.Select, parent_scope: Optional[Scope], facts=None
+    ) -> PreparedSelect:
+        return PreparedSelect(self, select, parent_scope, facts=facts)
 
     def function_body_plan(self, function: Function, arg_count: int) -> PreparedSelect:
         # lock-free fast path (dict reads are atomic under the GIL), locked

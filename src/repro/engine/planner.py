@@ -703,7 +703,12 @@ class Planner:
     query (and therefore whether its result may be cached).
     """
 
-    def __init__(self, context: "ExecutionContext", parent_scope: Optional[Scope]) -> None:
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        parent_scope: Optional[Scope],
+        facts=None,
+    ) -> None:
         self._context = context
         self._parent_scope = parent_scope
         self.created_scopes: list[Scope] = []
@@ -713,9 +718,24 @@ class Planner:
         self._batch_size = vector.batch_size
         self._typed = vector.enabled and vector.typed
         self._costed = context.database.cost.enabled
+        self._facts = facts
+        # binding (lower) -> column names (lower) the analyzer proved NOT
+        # NULL; populated as base tables are planned, cleared for relations
+        # on the null-padded side of a LEFT join
+        self._proven_bindings: dict[str, frozenset[str]] = {}
 
     def _new_scope(self, columns: list[tuple[Optional[str], str]]) -> Scope:
-        scope = Scope(columns, parent=self._parent_scope)
+        proven_bindings = self._proven_bindings
+        if proven_bindings:
+            proven = frozenset(
+                index
+                for index, (binding, column) in enumerate(columns)
+                if binding is not None
+                and column.lower() in proven_bindings.get(binding.lower(), ())
+            )
+        else:
+            proven = frozenset()
+        scope = Scope(columns, parent=self._parent_scope, proven=proven)
         self.created_scopes.append(scope)
         return scope
 
@@ -781,7 +801,9 @@ class Planner:
         if isinstance(item, ast.TableRef):
             return self._plan_table(item)
         if isinstance(item, ast.SubqueryRef):
-            prepared = self._context.prepare_subquery(item.query, self._parent_scope)
+            prepared = self._context.prepare_subquery(
+                item.query, self._parent_scope, facts=self._facts
+            )
             return PreparedSource(prepared, item.alias)
         if isinstance(item, ast.Join):
             return self._plan_join(item)
@@ -791,14 +813,25 @@ class Planner:
         catalog = self._context.database.catalog
         binding = item.alias or item.name
         if catalog.has_view(item.name):
-            prepared = self._context.prepare_subquery(catalog.view(item.name), self._parent_scope)
+            prepared = self._context.prepare_subquery(
+                catalog.view(item.name), self._parent_scope, facts=self._facts
+            )
             return PreparedSource(prepared, binding)
         table = catalog.table(item.name)
+        if self._facts is not None:
+            proven = self._facts.proven_not_null.get(item.name.lower())
+            if proven:
+                self._proven_bindings[binding.lower()] = proven
         return TableSource(table, binding, typed=self._typed)
 
     def _plan_join(self, item: ast.Join) -> SourcePlan:
         left = self._plan_from_item(item.left)
         right = self._plan_from_item(item.right)
+        if item.join_type is ast.JoinType.LEFT:
+            # the right side is null-padded for unmatched left rows, so its
+            # schema-proven NOT NULL guarantees do not survive the join
+            for binding in right.bindings:
+                self._proven_bindings.pop(binding, None)
         key_pairs: list[tuple[CompiledExpr, CompiledExpr]] = []
         residual_parts: list[ast.Expression] = []
         if item.condition is not None:

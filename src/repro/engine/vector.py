@@ -278,6 +278,9 @@ class BatchExpressionCompiler:
         else:
             self._typed = False
             self._kernels = None
+        # slots the static analyzer proved NOT NULL (repro.compile.typecheck):
+        # typed kernels over only-proven slots skip null-set collection
+        self._proven: frozenset = getattr(scope, "proven", frozenset())
 
     # -- public API ---------------------------------------------------------
 
@@ -822,12 +825,35 @@ class BatchExpressionCompiler:
     def _typed_numeric_kernel(
         self, plan: "_TypedPlan", generic: BatchKernel
     ) -> BatchKernel:
-        """Wrap a typed plan with the per-batch numeric guard + fallback."""
+        """Wrap a typed plan with the per-batch numeric guard + fallback.
+
+        When every referenced slot is analyzer-proven NOT NULL the kernel
+        skips null-set collection entirely — no per-column ``nulls`` check,
+        never the null-aware loop — and counts as a *proven* dispatch.
+        """
         slots = plan.slots
         dense = plan.dense
         selected = plan.selected
         nullaware = plan.nullaware
         counters = self._kernels
+        proven = self._proven
+        if proven and all(slot in proven for slot in slots):
+
+            def proven_kernel(batch: RowBatch, outers: tuple) -> list:
+                payloads = []
+                for slot in slots:
+                    typed = batch.typed_column(slot)
+                    if typed is None or typed.kind not in NUMERIC_KINDS:
+                        counters.generic += 1
+                        return generic(batch, outers)
+                    payloads.append(typed.values)
+                counters.proven += 1
+                sel = batch.sel
+                if sel is None:
+                    return dense(*payloads)
+                return selected(*payloads, sel)
+
+            return proven_kernel
 
         def kernel(batch: RowBatch, outers: tuple) -> list:
             payloads = []
@@ -900,6 +926,21 @@ class BatchExpressionCompiler:
             py_op = _MIRRORED_OPS[py_op]
         const_days = const.value.days
         counters = self._kernels
+        if slot in self._proven:
+
+            def proven_kernel(batch: RowBatch, outers: tuple) -> list:
+                typed = batch.typed_column(slot)
+                if typed is None or typed.kind != "date":
+                    counters.generic += 1
+                    return generic(batch, outers)
+                counters.proven += 1
+                values = typed.values
+                sel = batch.sel
+                if sel is None:
+                    return [py_op(value, const_days) for value in values]
+                return [py_op(values[i], const_days) for i in sel]
+
+            return proven_kernel
 
         def kernel(batch: RowBatch, outers: tuple) -> list:
             typed = batch.typed_column(slot)
@@ -964,6 +1005,27 @@ class BatchExpressionCompiler:
     ) -> BatchKernel:
         """``date_column BETWEEN DATE-literals`` over day ordinals."""
         counters = self._kernels
+        if slot in self._proven:
+
+            def proven_kernel(batch: RowBatch, outers: tuple) -> list:
+                typed = batch.typed_column(slot)
+                if typed is None or typed.kind != "date":
+                    counters.generic += 1
+                    return generic(batch, outers)
+                counters.proven += 1
+                values = typed.values
+                sel = batch.sel
+                if sel is None:
+                    if negated:
+                        return [
+                            not (low_days <= value <= high_days) for value in values
+                        ]
+                    return [low_days <= value <= high_days for value in values]
+                if negated:
+                    return [not (low_days <= values[i] <= high_days) for i in sel]
+                return [low_days <= values[i] <= high_days for i in sel]
+
+            return proven_kernel
 
         def kernel(batch: RowBatch, outers: tuple) -> list:
             typed = batch.typed_column(slot)
@@ -1008,6 +1070,29 @@ class BatchExpressionCompiler:
     ) -> BatchKernel:
         """Typed set-membership for a numeric column against numeric literals."""
         counters = self._kernels
+        if slot in self._proven:
+
+            def proven_kernel(batch: RowBatch, outers: tuple) -> list:
+                typed = batch.typed_column(slot)
+                if typed is None or typed.kind not in NUMERIC_KINDS:
+                    counters.generic += 1
+                    return generic(batch, outers)
+                counters.proven += 1
+                values = typed.values
+                sel = batch.sel
+                if not saw_null:
+                    if sel is None:
+                        return [(value in members) != negated for value in values]
+                    return [(values[i] in members) != negated for i in sel]
+                if sel is None:
+                    return [
+                        (not negated) if value in members else None for value in values
+                    ]
+                return [
+                    (not negated) if values[i] in members else None for i in sel
+                ]
+
+            return proven_kernel
 
         def kernel(batch: RowBatch, outers: tuple) -> list:
             typed = batch.typed_column(slot)

@@ -69,6 +69,23 @@ class InvalidStatementError(ParseError):
         return cls(f"invalid statement near {fragment!r}{ellipsis}: {cause}", position)
 
 
+class TypeCheckError(SQLError):
+    """Raised when the static semantic analyzer rejects a statement.
+
+    Emitted at ``prepare()`` time — before any backend or shard sees the
+    statement — for unknown columns, ill-typed comparisons, misplaced
+    aggregates, wrong UDF signatures and mistyped bind parameters.
+    ``fragment`` quotes the offending expression rendered back to SQL and
+    ``position`` is its character offset in the submitted text (-1 when the
+    fragment was introduced by rewriting and has no source position).
+    """
+
+    def __init__(self, message: str, fragment: str = "", position: int = -1) -> None:
+        super().__init__(message)
+        self.fragment = fragment
+        self.position = position
+
+
 class ParameterError(SQLError):
     """Raised when bind-parameter values do not match a statement's slots.
 

@@ -1,6 +1,6 @@
 """Transparent loopback serving: run the api suite over a real socket.
 
-When the ``REPRO_API_VIA_SERVER`` environment variable is truthy,
+When the ``REPRO_API_VIA_SERVER`` environment variable is ``1``,
 ``repro.api.connect`` routes middleware/gateway targets through an
 **in-process loopback server**: a real :class:`~repro.server.ReproServer`
 bound to ``127.0.0.1`` on an ephemeral port, one per distinct target object,
@@ -26,6 +26,7 @@ import os
 import threading
 from typing import Optional
 
+from ..errors import ConfigurationError
 from .server import ReproServer
 
 _lock = threading.Lock()
@@ -33,12 +34,25 @@ _lock = threading.Lock()
 #: target strongly both keeps the id stable and pins the serving stack
 _servers: dict[int, tuple[object, ReproServer]] = {}
 
-TRUTHY = {"1", "true", "yes", "on"}
-
 
 def loopback_enabled() -> bool:
-    """Whether ``REPRO_API_VIA_SERVER`` asks for loopback network serving."""
-    return os.environ.get("REPRO_API_VIA_SERVER", "").strip().lower() in TRUTHY
+    """Whether ``REPRO_API_VIA_SERVER`` asks for loopback network serving.
+
+    Strict like every other ``REPRO_*`` knob: only the literal flags ``1``
+    and ``0`` (or unset/empty) parse — a CI leg that set ``yes`` and
+    silently ran in-process would pass without ever touching a socket.
+    """
+    value = os.environ.get("REPRO_API_VIA_SERVER", "").strip()
+    if not value:
+        return False
+    if value == "1":
+        return True
+    if value == "0":
+        return False
+    raise ConfigurationError(
+        f"the REPRO_API_VIA_SERVER environment variable must be '0' or '1' "
+        f"(got {value!r})"
+    )
 
 
 def ensure_loopback(target) -> tuple[str, int]:

@@ -48,6 +48,7 @@ from ..errors import (
     ServerBusyError,
     ServerError,
     SQLError,
+    TypeCheckError,
     TypeMismatchError,
 )
 from ..sql.types import Date
@@ -87,6 +88,7 @@ WIRE_CODES: dict[str, type] = {
     "CLUSTER": ClusterError,
     "BACKEND": BackendError,
     "CONFIGURATION": ConfigurationError,
+    "TYPECHECK": TypeCheckError,
     "SQL": SQLError,
     "REPRO": ReproError,
 }

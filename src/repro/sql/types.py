@@ -63,6 +63,49 @@ class SQLType(Enum):
         return aliases[base]
 
 
+#: types whose values share SQL's numeric comparison/arithmetic semantics
+NUMERIC_TYPES = frozenset({SQLType.INTEGER, SQLType.DECIMAL, SQLType.BOOLEAN})
+
+
+def is_numeric_type(sql_type: Optional[SQLType]) -> bool:
+    """True when ``sql_type`` is known and numeric (INTEGER/DECIMAL/BOOLEAN)."""
+    return sql_type in NUMERIC_TYPES
+
+
+def comparison_compatible(left: Optional[SQLType], right: Optional[SQLType]) -> bool:
+    """Static mirror of the runtime coercion lattice: may two values compare?
+
+    ``None`` means "type unknown" and is compatible with everything — the
+    static analyzer must never reject a statement the runtime
+    (:func:`sql_compare` / :func:`_coerce_pair`) would accept.
+    """
+    if left is None or right is None:
+        return True
+    if left in NUMERIC_TYPES and right in NUMERIC_TYPES:
+        return True
+    if left is right:
+        return True
+    # a string coerces to a Date when the other side is a Date
+    return {left, right} == {SQLType.DATE, SQLType.VARCHAR}
+
+
+def arithmetic_result(
+    left: Optional[SQLType], right: Optional[SQLType]
+) -> Optional[SQLType]:
+    """Statically inferred type of numeric ``left <op> right``.
+
+    ``None`` (unknown) when either side is unknown; INTEGER only when both
+    sides are integral, DECIMAL otherwise — mirroring Python's int/float
+    promotion in the engine's evaluators.  Callers must have established
+    that both sides are numeric (or DATE/INTERVAL, handled separately).
+    """
+    if left is None or right is None:
+        return None
+    if left is SQLType.INTEGER and right is SQLType.INTEGER:
+        return SQLType.INTEGER
+    return SQLType.DECIMAL
+
+
 @dataclass(frozen=True, order=True)
 class Date:
     """A calendar date, stored as days since 1970-01-01.

@@ -50,6 +50,7 @@ PUBLIC_MODULES = (
     "repro/compile/explain.py",
     "repro/compile/passes.py",
     "repro/compile/stats.py",
+    "repro/compile/typecheck.py",
     "repro/core/middleware.py",
     "repro/core/client.py",
     "repro/gateway/__init__.py",
